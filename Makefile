@@ -1,0 +1,41 @@
+# Convenience targets for the G-PBFT reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test lint bench figures figures-paper charts examples clean
+
+install:
+	pip install -e ".[dev]"
+
+test:
+	$(PYTHON) -m pytest tests/
+
+# documentation gate: every public item must carry a docstring
+lint:
+	$(PYTHON) scripts/check_docstrings.py
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# every table and figure, quick profile, text + SVG under results/
+figures:
+	$(PYTHON) -m repro.experiments all --out results/reports --svg results/charts
+
+# section-V scale (slow: tens of minutes)
+figures-paper:
+	GPBFT_BENCH_PROFILE=paper $(PYTHON) -m repro.experiments all \
+		--profile paper --out results/reports --svg results/charts
+
+# record + chart the paper-scale sweeps incrementally (resumable)
+charts:
+	$(PYTHON) scripts/record_paper_results.py
+	$(PYTHON) scripts/render_paper_charts.py
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex"; $(PYTHON) $$ex || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis results/reports
+	find . -name __pycache__ -type d -exec rm -rf {} +

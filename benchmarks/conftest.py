@@ -1,0 +1,32 @@
+"""Shared fixtures for the figure/table reproduction benchmarks.
+
+Every benchmark runs one full experiment through ``benchmark.pedantic``
+(a single round -- these are reproduction harnesses, not microbenchmarks),
+prints the rendered figure/table to stdout (run pytest with ``-s`` to
+see it), and asserts the paper's qualitative shape.
+
+Profile selection: ``GPBFT_BENCH_PROFILE=quick`` (default) keeps every
+bench laptop-fast; ``GPBFT_BENCH_PROFILE=paper`` reruns the full
+section-V scale (202 nodes, 10 repetitions) and takes tens of minutes.
+"""
+
+import pytest
+
+from repro.experiments.profiles import active_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The active experiment profile."""
+    return active_profile()
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,37 @@
+"""Extension experiment benches (beyond the paper's figures).
+
+* Throughput: with a fixed offered load, PBFT's committed TPS collapses
+  as the network grows while G-PBFT holds the offered rate -- the TPS
+  view of the latency story in Figures 3-4.
+* Era churn: very frequent era switches inflate commit latency (the
+  quantitative form of section III-E's "T must be neither too small nor
+  too large").
+"""
+
+from repro.experiments.extensions import era_churn_experiment, throughput_experiment
+
+
+def test_throughput_extension(run_once):
+    result = run_once(throughput_experiment,
+                      node_counts=(4, 10, 16, 28), horizon_s=300.0)
+    print("\n" + result.text)
+    pbft, gpbft = result.series
+    offered = 0.5  # 1 tx / 2 s
+
+    # PBFT loses throughput as n grows; G-PBFT holds the offered rate
+    assert pbft.means[-1] < pbft.means[0] * 0.7
+    for point in gpbft.points:
+        assert point.mean > offered * 0.9
+    assert gpbft.means[-1] > pbft.means[-1] * 1.5
+
+
+def test_era_churn_extension(run_once):
+    result = run_once(era_churn_experiment)
+    print("\n" + result.text)
+    (sweep,) = result.series
+
+    # latency falls monotonically as switches get rarer, and the
+    # most-frequent-switch point pays a clear penalty
+    means = sweep.means
+    assert all(b <= a * 1.05 for a, b in zip(means, means[1:]))
+    assert means[0] > means[-1] * 2.0

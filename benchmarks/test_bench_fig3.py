@@ -1,0 +1,53 @@
+"""Figure 3 reproduction: consensus-latency boxplots per node count.
+
+Paper claims reproduced here:
+
+* Fig. 3a -- PBFT latency "increases at an exponential speed" with node
+  count and its variance grows;
+* Fig. 3b -- G-PBFT latency stops increasing once the node count passes
+  the committee cap, with much smaller variance, plus occasional
+  era-switch outliers (the circles, ~+0.25 s switch period).
+"""
+
+from repro.experiments.figures import figure3
+
+
+def test_figure3(run_once, profile):
+    result = run_once(figure3, profile)
+    print("\n" + result.text)
+
+    pbft, gpbft, outliers = result.series
+    cap = profile.max_endorsers
+
+    # Fig 3a shape: PBFT latency grows superlinearly across the sweep
+    first, last = pbft.points[0], pbft.points[-1]
+    growth = last.mean / first.mean
+    node_growth = last.x / first.x
+    assert growth > node_growth, (
+        f"PBFT latency should grow superlinearly: x{growth:.1f} latency over "
+        f"x{node_growth:.1f} nodes"
+    )
+
+    # Fig 3a shape: variance grows with node count
+    assert last.stats().std > first.stats().std
+
+    # Fig 3b shape: flat past the committee cap
+    capped = [p for p in gpbft.points if p.x >= cap]
+    if len(capped) >= 2:
+        assert capped[-1].mean < capped[0].mean * 1.5, (
+            "G-PBFT latency must plateau once the committee is capped"
+        )
+
+    # Fig 3b shape: below the cap the two protocols track each other
+    below = [p for p in gpbft.points if p.x <= cap]
+    for g_point in below:
+        p_mean = pbft.mean_at(g_point.x)
+        assert 0.3 < g_point.mean / p_mean < 3.0
+
+    # Fig 3b outliers: the era-switch group's max exceeds its own median
+    # by at least the switch period
+    stats = outliers.points[0].stats()
+    assert stats.maximum - stats.median > 0.25
+
+    # G-PBFT variance stays small at the largest point
+    assert gpbft.points[-1].stats().std < pbft.points[-1].stats().std

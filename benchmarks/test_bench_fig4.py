@@ -1,0 +1,30 @@
+"""Figure 4 reproduction: average consensus latency, PBFT vs G-PBFT.
+
+Paper claims reproduced: G-PBFT stays at a stable small value while PBFT
+grows toward hundreds of seconds; at the headline node count G-PBFT's
+latency is a small percentage of PBFT's (paper: 2.24% at 202 nodes).
+"""
+
+from repro.experiments.figures import figure4
+
+
+def test_figure4(run_once, profile):
+    result = run_once(figure4, profile)
+    print("\n" + result.text)
+
+    pbft, gpbft = result.series
+    n = profile.latency_node_counts[-1]
+
+    # who wins: G-PBFT, and by a large factor at the headline point
+    ratio = gpbft.mean_at(n) / pbft.mean_at(n)
+    assert ratio < 0.25, f"G-PBFT should be <25% of PBFT latency, got {ratio:.2%}"
+
+    # G-PBFT stays within a narrow band across the capped region
+    capped = [p.mean for p in gpbft.points if p.x >= profile.max_endorsers]
+    if capped:
+        assert max(capped) / min(capped) < 2.0
+
+    # PBFT is strictly worse at every capped point
+    for point in pbft.points:
+        if point.x > profile.max_endorsers:
+            assert point.mean > gpbft.mean_at(point.x)

@@ -1,0 +1,35 @@
+"""Figure 5 reproduction: per-transaction communication cost sweeps.
+
+Paper claims reproduced: PBFT's cost keeps accelerating with network
+size (quadratic message complexity); G-PBFT's cost reaches an upper
+bound once the committee is capped (paper: ~400 KB beyond ~100 nodes
+with the 40-endorser cap).
+"""
+
+from repro.experiments.figures import figure5
+
+
+def test_figure5(run_once, profile):
+    result = run_once(figure5, profile)
+    print("\n" + result.text)
+
+    pbft, gpbft = result.series
+
+    # Fig 5a: strictly increasing and accelerating
+    means = pbft.means
+    assert all(b > a for a, b in zip(means, means[1:]))
+    increments = [b - a for a, b in zip(means, means[1:])]
+    assert increments[-1] > increments[0], "PBFT cost growth must accelerate"
+
+    # Fig 5b: bounded once capped
+    cap = profile.max_endorsers
+    capped = [p.mean for p in gpbft.points if p.x >= cap]
+    if len(capped) >= 2:
+        assert max(capped) < min(capped) * 1.3, (
+            f"G-PBFT cost must hit an upper bound, got {capped}"
+        )
+
+    # below the cap both protocols cost roughly the same
+    for point in gpbft.points:
+        if point.x <= cap:
+            assert point.mean < pbft.mean_at(point.x) * 1.5

@@ -1,0 +1,26 @@
+"""Table II reproduction: the election table's geographic timer.
+
+Replays the paper's example rows (one CSC, five timestamps spanning
+2019-08-05 18:00:00 to 2019-08-06 12:00:00) and checks the timer column
+accumulates exactly as printed: 0 -> 56:04 -> 06:56:04 -> 12:56:04 ->
+18:56:04.
+"""
+
+import pytest
+
+from repro.experiments.tables import table2
+
+
+def test_table2(run_once):
+    result = run_once(table2)
+    print("\n" + result.text)
+
+    timers = result.values["timers"]
+    expected = [
+        0.0,
+        56 * 60 + 4,                # 56:04
+        6 * 3600 + 56 * 60 + 4,     # 06:56:04
+        12 * 3600 + 56 * 60 + 4,    # 12:56:04
+        18 * 3600 + 56 * 60 + 4,    # 18:56:04
+    ]
+    assert timers == pytest.approx(expected)

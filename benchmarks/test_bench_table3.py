@@ -1,0 +1,34 @@
+"""Table III reproduction: the headline comparison.
+
+Paper values at n = 202: PBFT 251.47 s / 8571.32 KB, G-PBFT 5.64 s /
+380.29 KB -- latency reduced to 2.24%, cost to 4.43%.
+
+With the ``paper`` profile this bench reruns the full 202-node point;
+the default quick profile evaluates its own headline point.  In both
+cases the claims checked are the paper's *ratios*: G-PBFT at a small
+fraction of PBFT's latency and cost.
+"""
+
+from repro.experiments.tables import PAPER_TABLE3, table3
+
+
+def test_table3(run_once, profile):
+    result = run_once(table3, profile)
+    print("\n" + result.text)
+
+    values = result.values
+    assert values["latency_ratio"] < 0.25, (
+        f"G-PBFT latency should be a small fraction of PBFT "
+        f"(paper 2.24%), got {values['latency_ratio']:.2%}"
+    )
+    assert values["cost_ratio"] < 0.20, (
+        f"G-PBFT cost should be a small fraction of PBFT "
+        f"(paper 4.43%), got {values['cost_ratio']:.2%}"
+    )
+
+    if profile.name == "paper":
+        # absolute order-of-magnitude checks against Table III
+        assert 0.5 * PAPER_TABLE3["pbft_cost_kb"] < values["pbft_cost_kb"] < 1.5 * PAPER_TABLE3["pbft_cost_kb"]
+        assert 0.5 * PAPER_TABLE3["gpbft_cost_kb"] < values["gpbft_cost_kb"] < 1.5 * PAPER_TABLE3["gpbft_cost_kb"]
+        assert 0.3 * PAPER_TABLE3["pbft_latency_s"] < values["pbft_latency_s"] < 2.0 * PAPER_TABLE3["pbft_latency_s"]
+        assert values["gpbft_latency_s"] < 4.0 * PAPER_TABLE3["gpbft_latency_s"]

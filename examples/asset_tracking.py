@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""RFID asset tracking: the paper's third motivating application.
+
+A 200 m warehouse is covered by a grid of 9 RFID readers (fixed IoT
+infrastructure running G-PBFT); 12 tagged assets move around it.  Each
+scan period, every reader that detects an asset in radio range records
+the sighting on-chain, so the ledger always holds each asset's last
+verified position -- tamper-proof location history, which is the whole
+point of putting tracking data on a blockchain.
+
+Run:  python examples/asset_tracking.py
+"""
+
+from repro.metrics.latency import LatencySamples
+from repro.workloads import asset_tracking_scenario
+
+
+def main() -> None:
+    scenario = asset_tracking_scenario(
+        n_readers=9, n_assets=12, sighting_range_m=60.0, scan_period_s=20.0,
+        seed=5,
+    )
+    print(scenario.description)
+    deployment = scenario.deployment
+    print(f"reader committee: {deployment.committee}")
+
+    scenario.start()
+    scenario.run(10 * 60.0)  # ten simulated minutes
+
+    samples = LatencySamples()
+    samples.add_from_events(deployment.events)
+    stats = samples.stats()
+    print(f"\nsightings committed: {stats.count}")
+    print(f"commit latency: median {stats.median:.2f}s, max {stats.maximum:.2f}s")
+    print(f"chain height: {deployment.nodes[0].ledger.height}, "
+          f"ledgers consistent: {deployment.ledgers_consistent()}")
+
+    # the on-chain location register: every asset's last verified position
+    reader = deployment.nodes[0]
+    print("\non-chain asset positions (last committed sighting):")
+    tracked = 0
+    for asset_id in range(9, 21):
+        position = reader.ledger.state.get(f"asset{asset_id}")
+        if position is not None:
+            tracked += 1
+            print(f"  asset {asset_id}: {position}")
+    print(f"\n{tracked}/12 assets have verified on-chain positions")
+    print(f"traffic: {deployment.network.stats.kilobytes_sent:.0f} KB "
+          f"({deployment.network.stats.messages_sent} messages)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Sybil attack on endorser election -- with and without the geographic
+defences (paper section IV-A1).
+
+One attacker machine registers 12 cheap identities, each reporting a
+fabricated fixed location long enough to pass the stationarity rule.
+Without geographic verification the identities flood the committee and
+cross PBFT's 1/3 threshold.  With G-PBFT's checks -- cell exclusivity,
+witness corroboration, one-device-per-cell tenancy -- the attack is
+bounded by the attacker's single physical presence.
+
+Run:  python examples/sybil_attack.py
+"""
+
+from repro.common.config import (
+    CommitteeConfig,
+    ElectionConfig,
+    EraConfig,
+    GPBFTConfig,
+)
+from repro.core import GPBFTDeployment
+from repro.geo.coords import LatLng, Region
+from repro.sybil import SybilStrategy
+
+#: A dense 300 m neighbourhood: every honest device has in-range witnesses.
+NEIGHBOURHOOD = Region.around(LatLng(22.3193, 114.1694), half_side_m=150.0)
+
+CONFIG = GPBFTConfig(
+    election=ElectionConfig(
+        stationary_hours=1.0,
+        report_interval_s=900.0,
+        min_reports=3,
+        audit_window_s=7200.0,
+    ),
+    era=EraConfig(period_s=7200.0, switch_duration_s=0.25),
+    committee=CommitteeConfig(min_endorsers=4, max_endorsers=40),
+)
+
+
+def run_attack(protected: bool, strategy: SybilStrategy, n_sybils: int = 12):
+    deployment = GPBFTDeployment(
+        n_nodes=10,
+        n_endorsers=4,
+        config=CONFIG,
+        seed=7,
+        region=NEIGHBOURHOOD,
+        sybil_protection=protected,
+        witness_range_m=200.0,
+    )
+    attacker = deployment.add_sybils(n_sybils, strategy=strategy)
+    deployment.run(until=3 * 7200.0 + 100.0)
+    committee = deployment.committee
+    sybils_in = {i.node_id for i in attacker.identities} & set(committee)
+    honest_in = [m for m in committee if m < 10]
+    return {
+        "committee_size": len(committee),
+        "sybils_in": len(sybils_in),
+        "honest_in": len(honest_in),
+        "fraction": attacker.committee_fraction(committee),
+        "controls": attacker.controls_consensus(committee),
+        "admission": deployment.nodes[0].admission,
+    }
+
+
+def main() -> None:
+    print("Sybil attack: 12 fake identities vs a 10-device neighbourhood\n")
+
+    print("=== without geographic verification (plain open-membership) ===")
+    result = run_attack(protected=False, strategy=SybilStrategy.EMPTY_CELL)
+    print(f"  committee: {result['committee_size']} members, "
+          f"{result['sybils_in']} Sybil ({result['fraction']:.0%})")
+    print(f"  attacker controls consensus (>= 1/3): {result['controls']}")
+    assert result["controls"]
+
+    print("\n=== with G-PBFT geographic verification ===")
+    for strategy in (SybilStrategy.EMPTY_CELL, SybilStrategy.CLONE_CELL,
+                     SybilStrategy.OWN_CELL):
+        result = run_attack(protected=True, strategy=strategy)
+        print(f"  strategy {strategy.value:<11}: "
+              f"{result['sybils_in']} Sybil in committee, "
+              f"{result['honest_in']}/10 honest elected, "
+              f"controls consensus: {result['controls']}")
+        assert not result["controls"]
+        if result["admission"] is not None:
+            verdicts = result["admission"].stats.by_verdict
+            rejected = {k: v for k, v in verdicts.items() if k != "valid"}
+            print(f"      endorser-0 admission rejections: {rejected}")
+
+    print("\nThe OWN_CELL strategy keeps at most one identity -- the one that")
+    print("is physically present, indistinguishable from a legitimate device.")
+    print("That is exactly the paper's bound: geographic exclusivity 'limits")
+    print("the maximum number of Sybil nodes in an IoT-blockchain system'.")
+
+
+if __name__ == "__main__":
+    main()

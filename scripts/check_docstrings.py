@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate: every public item must be documented.
+
+Walks ``repro``'s modules and reports public modules, classes, functions
+and methods without docstrings.  Exit code 1 when anything is missing,
+so CI can enforce the documentation deliverable.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Dunder methods whose behaviour is fully conventional.
+_EXEMPT_METHODS = {
+    "__init__", "__post_init__", "__repr__", "__str__", "__len__",
+    "__iter__", "__contains__", "__eq__", "__lt__", "__setitem__",
+    "__delitem__", "__hash__",
+}
+
+
+def _missing_in(tree: ast.Module, path: Path) -> list[str]:
+    missing: list[str] = []
+    if ast.get_docstring(tree) is None:
+        missing.append(f"{path}: module docstring")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            if ast.get_docstring(node) is None:
+                missing.append(f"{path}:{node.lineno}: class {node.name}")
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if item.name.startswith("_") and item.name not in _EXEMPT_METHODS:
+                        continue
+                    if item.name in _EXEMPT_METHODS:
+                        continue
+                    if ast.get_docstring(item) is None:
+                        missing.append(
+                            f"{path}:{item.lineno}: method {node.name}.{item.name}"
+                        )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # module-level functions only (methods handled above)
+            pass
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.startswith("_"):
+                continue
+            if ast.get_docstring(node) is None:
+                missing.append(f"{path}:{node.lineno}: function {node.name}")
+    return missing
+
+
+def main() -> int:
+    missing: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text())
+        missing.extend(_missing_in(tree, path.relative_to(SRC.parent.parent)))
+    if missing:
+        print(f"{len(missing)} public items lack docstrings:")
+        for item in missing:
+            print(f"  {item}")
+        return 1
+    print("docstring coverage: every public item documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

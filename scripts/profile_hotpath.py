@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Profile the simulation hot path (per the repo's profiling-first rule).
+
+Runs one PBFT traffic point at n = 202 (the heaviest single experiment:
+~80k messages, ~240k simulator events) under cProfile and prints the
+top functions by cumulative and internal time.  Use this before
+attempting any optimisation of the simulator or protocol code.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+
+
+def workload() -> None:
+    from repro.experiments.runner import pbft_traffic_point
+
+    pbft_traffic_point(202)
+
+
+def main() -> None:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    print("== top 15 by internal time ==")
+    stats.sort_stats("tottime").print_stats(15)
+    print("== top 15 by cumulative time ==")
+    stats.sort_stats("cumulative").print_stats(15)
+
+
+if __name__ == "__main__":
+    main()

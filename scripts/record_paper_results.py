@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Incrementally record paper-profile measurements to JSON.
+
+Each (experiment, protocol, n, rep) cell is computed once and cached in
+``results/paper_results.json``; rerunning the script resumes where it
+stopped (useful under wall-clock limits).  ``--budget`` bounds one
+invocation's runtime.
+
+The recorded numbers feed EXPERIMENTS.md's paper-vs-measured tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.profiles import PAPER
+from repro.experiments.runner import (
+    gpbft_latency_point,
+    gpbft_traffic_point,
+    pbft_latency_point,
+    pbft_traffic_point,
+)
+
+RESULTS = Path(__file__).resolve().parent.parent / "results" / "paper_results.json"
+
+
+def load() -> dict:
+    if RESULTS.exists():
+        return json.loads(RESULTS.read_text())
+    return {"latency": {}, "traffic": {}}
+
+
+def save(data: dict) -> None:
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS.write_text(json.dumps(data, indent=1, sort_keys=True))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--budget", type=float, default=520.0,
+                        help="seconds of wall clock for this invocation")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="latency repetitions per node count")
+    args = parser.parse_args()
+
+    profile = PAPER
+    data = load()
+    deadline = time.perf_counter() + args.budget
+
+    def out_of_time() -> bool:
+        return time.perf_counter() > deadline
+
+    # -- traffic sweeps (cheap, do first) --------------------------------
+    for protocol, fn in (("pbft", pbft_traffic_point),
+                         ("gpbft", lambda n: gpbft_traffic_point(
+                             n, max_endorsers=profile.max_endorsers))):
+        for n in profile.traffic_node_counts:
+            key = f"{protocol}:{n}"
+            if key in data["traffic"]:
+                continue
+            if out_of_time():
+                save(data)
+                print("budget exhausted (traffic)")
+                return 1
+            kb = fn(n)
+            data["traffic"][key] = kb
+            save(data)
+            print(f"traffic {key}: {kb:.1f} KB", flush=True)
+
+    # -- latency sweeps ----------------------------------------------------
+    for protocol in ("gpbft", "pbft"):  # cheap protocol first
+        for n in profile.latency_node_counts:
+            for rep in range(args.reps):
+                key = f"{protocol}:{n}:{rep}"
+                if key in data["latency"]:
+                    continue
+                if out_of_time():
+                    save(data)
+                    print("budget exhausted (latency)")
+                    return 1
+                seed = 1000 * n + rep
+                started = time.perf_counter()
+                if protocol == "pbft":
+                    samples = pbft_latency_point(
+                        n, seed, profile.proposal_period_s,
+                        profile.measured_txs, profile.warmup_txs)
+                else:
+                    samples = gpbft_latency_point(
+                        n, seed, profile.proposal_period_s,
+                        profile.measured_txs, profile.warmup_txs,
+                        profile.max_endorsers)
+                data["latency"][key] = samples
+                save(data)
+                mean = sum(samples) / len(samples)
+                print(f"latency {key}: mean {mean:.2f}s "
+                      f"({time.perf_counter() - started:.0f}s wall)", flush=True)
+
+    print("complete")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Render SVG charts from the recorded paper-scale results.
+
+Reads results/paper_results.json (written by record_paper_results.py)
+and produces the Figure 3/4/5/6 charts under results/charts/.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.metrics.collector import SweepResult
+from repro.metrics.svgplot import boxplot_chart, line_chart, save_svg
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results" / "paper_results.json"
+OUT = ROOT / "results" / "charts"
+
+
+def build_sweeps(data: dict) -> dict[str, SweepResult]:
+    sweeps: dict[str, SweepResult] = {}
+    ns = sorted({int(k.split(":")[1]) for k in data["latency"]})
+    for protocol, label in (("pbft", "PBFT"), ("gpbft", "G-PBFT")):
+        latency = SweepResult(label, "number of nodes", "consensus latency (s)")
+        for n in ns:
+            samples = [v for key, values in data["latency"].items()
+                       for v in values
+                       if key.startswith(f"{protocol}:{n}:")]
+            if samples:
+                latency.add(n, samples)
+        sweeps[f"{protocol}_latency"] = latency
+        traffic = SweepResult(label, "number of nodes", "communication cost (KB)")
+        for n in ns:
+            kb = data["traffic"].get(f"{protocol}:{n}")
+            if kb is not None:
+                traffic.add(n, [kb])
+        sweeps[f"{protocol}_traffic"] = traffic
+    return sweeps
+
+
+def main() -> None:
+    data = json.loads(RESULTS.read_text())
+    sweeps = build_sweeps(data)
+    OUT.mkdir(parents=True, exist_ok=True)
+    save_svg(boxplot_chart(sweeps["pbft_latency"],
+                           title="Fig. 3a -- PBFT consensus latency (paper scale)"),
+             OUT / "fig3a_pbft_latency.svg")
+    save_svg(boxplot_chart(sweeps["gpbft_latency"],
+                           title="Fig. 3b -- G-PBFT consensus latency (paper scale)"),
+             OUT / "fig3b_gpbft_latency.svg")
+    save_svg(line_chart([sweeps["pbft_latency"], sweeps["gpbft_latency"]],
+                        title="Fig. 4 -- average consensus latency"),
+             OUT / "fig4_latency_comparison.svg")
+    save_svg(line_chart([sweeps["pbft_traffic"], sweeps["gpbft_traffic"]],
+                        title="Fig. 6 -- communication cost per transaction"),
+             OUT / "fig6_traffic_comparison.svg")
+    for path in sorted(OUT.glob("*.svg")):
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Summarize results/paper_results.json into EXPERIMENTS.md-ready tables."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.metrics.latency import BoxplotStats
+
+RESULTS = Path(__file__).resolve().parent.parent / "results" / "paper_results.json"
+
+
+def main() -> None:
+    data = json.loads(RESULTS.read_text())
+
+    # -- latency table ----------------------------------------------------
+    ns = sorted({int(k.split(":")[1]) for k in data["latency"]})
+    print("| n | PBFT mean (s) | PBFT min-max | G-PBFT mean (s) | G-PBFT min-max |")
+    print("|---|---|---|---|---|")
+    for n in ns:
+        row = [str(n)]
+        for protocol in ("pbft", "gpbft"):
+            samples = []
+            for key, values in data["latency"].items():
+                p, kn, _rep = key.split(":")
+                if p == protocol and int(kn) == n:
+                    samples.extend(values)
+            if samples:
+                stats = BoxplotStats.from_samples(samples)
+                row.append(f"{stats.mean:.2f}")
+                row.append(f"{stats.minimum:.2f}-{stats.maximum:.2f}")
+            else:
+                row.extend(["-", "-"])
+        print("| " + " | ".join(row) + " |")
+
+    # -- traffic table ------------------------------------------------------
+    print()
+    print("| n | PBFT (KB) | G-PBFT (KB) | ratio |")
+    print("|---|---|---|---|")
+    for n in ns:
+        pbft = data["traffic"].get(f"pbft:{n}")
+        gpbft = data["traffic"].get(f"gpbft:{n}")
+        if pbft is None or gpbft is None:
+            continue
+        print(f"| {n} | {pbft:.1f} | {gpbft:.1f} | {gpbft / pbft:.2%} |")
+
+    # -- headline -------------------------------------------------------------
+    n = max(ns)
+    pbft_lat = [v for k, vs in data["latency"].items()
+                for v in vs if k.startswith(f"pbft:{n}:")]
+    gpbft_lat = [v for k, vs in data["latency"].items()
+                 for v in vs if k.startswith(f"gpbft:{n}:")]
+    if pbft_lat and gpbft_lat:
+        pm = sum(pbft_lat) / len(pbft_lat)
+        gm = sum(gpbft_lat) / len(gpbft_lat)
+        pk = data["traffic"][f"pbft:{n}"]
+        gk = data["traffic"][f"gpbft:{n}"]
+        print(f"\nheadline n={n}:")
+        print(f"  latency: PBFT {pm:.2f}s vs G-PBFT {gm:.2f}s "
+              f"(ratio {gm / pm:.2%}; paper 251.47 / 5.64 = 2.24%)")
+        print(f"  traffic: PBFT {pk:.1f}KB vs G-PBFT {gk:.1f}KB "
+              f"(ratio {gk / pk:.2%}; paper 8571.32 / 380.29 = 4.43%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Closed-form models from the paper's theoretical analysis (section IV).
+
+Latency: with processing rate *s* messages/second per node, a PBFT phase
+switch waits for a ~(2n/3) quorum, so a full consensus is O(n/s); with a
+committee of *c* endorsers G-PBFT is O(c/s) and the predicted speedup is
+n/c (section IV-B).
+
+Overhead: PBFT moves O(n^2) messages per request; G-PBFT O(c^2), a
+reduction of c^2/n^2 (section IV-C).
+
+These predictions are compared against the simulator's measurements by
+``benchmarks/test_bench_analysis.py`` and EXPERIMENTS.md.
+"""
+
+from repro.analysis.models import (
+    pbft_phase_seconds,
+    pbft_consensus_seconds,
+    gpbft_consensus_seconds,
+    pbft_message_count,
+    gpbft_message_count,
+    pbft_traffic_bytes,
+    gpbft_traffic_bytes,
+    predicted_loaded_latency,
+    predicted_speedup,
+    predicted_traffic_reduction,
+    utilization,
+    queueing_delay_factor,
+)
+
+__all__ = [
+    "pbft_phase_seconds",
+    "pbft_consensus_seconds",
+    "gpbft_consensus_seconds",
+    "pbft_message_count",
+    "gpbft_message_count",
+    "pbft_traffic_bytes",
+    "gpbft_traffic_bytes",
+    "predicted_loaded_latency",
+    "predicted_speedup",
+    "predicted_traffic_reduction",
+    "utilization",
+    "queueing_delay_factor",
+]

@@ -1,0 +1,276 @@
+"""Nakamoto-style Proof-of-Work over the simulated network.
+
+Model
+-----
+Every miner hashes at a configured rate; the time until *some* miner
+finds a block is exponential with mean ``block_interval_s``, and the
+winner is drawn proportionally to hash rate (the standard memoryless
+decomposition of PoW).  The winner packs its mempool into a block and
+broadcasts it; peers adopt the longest chain (ties: first received),
+which makes near-simultaneous finds produce short-lived forks and
+orphans exactly as in real PoW.  A transaction is *committed* when the
+block containing it is ``confirmations`` deep on a node's best chain.
+
+Measured quantities: commit latency, bytes moved (block gossip), hash
+work expended (rate x elapsed time), and orphan rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import NetworkConfig
+from repro.common.errors import ConfigurationError
+from repro.common.eventlog import EventLog
+from repro.common.rng import DeterministicRNG
+from repro.crypto.hashing import digest_concat, sha256
+from repro.net.network import SimulatedNetwork
+from repro.net.simulator import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class PoWConfig:
+    """PoW model parameters.
+
+    Attributes:
+        block_interval_s: expected time between blocks network-wide
+            (600 s in Bitcoin; IoT chains use tens of seconds).
+        hash_rate_per_miner: hashes/second each miner expends (sets the
+            computing-overhead metric; identical miners by default).
+        confirmations: chain depth at which a transaction is final
+            (6 in Bitcoin folklore).
+        block_header_bytes: serialized header size (80 B in Bitcoin).
+        max_txs_per_block: block capacity.
+    """
+
+    block_interval_s: float = 30.0
+    hash_rate_per_miner: float = 1e6
+    confirmations: int = 3
+    block_header_bytes: int = 80
+    max_txs_per_block: int = 500
+
+    def __post_init__(self) -> None:
+        if self.block_interval_s <= 0:
+            raise ConfigurationError("block interval must be positive")
+        if self.hash_rate_per_miner <= 0:
+            raise ConfigurationError("hash rate must be positive")
+        if self.confirmations < 1:
+            raise ConfigurationError("confirmations must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class PoWBlock:
+    """A mined block: identity, linkage, and the tx ids it contains."""
+
+    digest: bytes
+    parent: bytes
+    height: int
+    miner: int
+    tx_ids: tuple[str, ...]
+    mined_at: float
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size in bytes (verified by repro.codec)."""
+        # header + one 32-byte id per transaction payload reference;
+        # actual tx bodies travel once with the block
+        return 80 + 200 * len(self.tx_ids)
+
+
+@dataclass(frozen=True, slots=True)
+class _BlockGossip:
+    """Envelope payload carrying one block."""
+
+    block: PoWBlock
+
+    @property
+    def kind(self) -> str:
+        """Message kind for dispatch and traffic accounting."""
+        return "pow.block"
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size in bytes (verified by repro.codec)."""
+        return self.block.size_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class _TxGossip:
+    """Envelope payload carrying one transaction announcement."""
+
+    tx_id: str
+
+    @property
+    def kind(self) -> str:
+        """Message kind for dispatch and traffic accounting."""
+        return "pow.tx"
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size in bytes (verified by repro.codec)."""
+        return 200  # same operation size as the PBFT experiments
+
+
+GENESIS = PoWBlock(digest=sha256(b"pow-genesis"), parent=b"\x00" * 32,
+                   height=0, miner=-1, tx_ids=(), mined_at=0.0)
+
+
+class _MinerState:
+    """One miner's view: block tree, best tip, mempool."""
+
+    def __init__(self) -> None:
+        self.blocks: dict[bytes, PoWBlock] = {GENESIS.digest: GENESIS}
+        self.best: PoWBlock = GENESIS
+        self.mempool: set[str] = set()
+        self.seen_txs: set[str] = set()
+
+    def add_block(self, block: PoWBlock) -> bool:
+        """Insert *block*; returns True when it becomes the new tip."""
+        if block.digest in self.blocks or block.parent not in self.blocks:
+            return False  # duplicate or orphan-parent (no sync modelled)
+        self.blocks[block.digest] = block
+        if block.height > self.best.height:
+            self.best = block
+            return True
+        return False
+
+    def chain(self) -> list[PoWBlock]:
+        """Best chain, genesis first."""
+        out = []
+        cursor = self.best
+        while cursor.height > 0:
+            out.append(cursor)
+            cursor = self.blocks[cursor.parent]
+        out.append(GENESIS)
+        return list(reversed(out))
+
+
+class PoWNetwork:
+    """n miners mining and gossiping over the simulated network.
+
+    Args:
+        n_miners: network size.
+        config: PoW parameters.
+        network_config: substrate parameters (latency etc.).
+        seed: deterministic run seed.
+    """
+
+    def __init__(
+        self,
+        n_miners: int,
+        config: PoWConfig | None = None,
+        network_config: NetworkConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n_miners < 1:
+            raise ConfigurationError("need at least one miner")
+        self.config = config or PoWConfig()
+        self.sim = Simulator()
+        self.network = SimulatedNetwork(
+            self.sim, network_config or NetworkConfig(seed=seed, processing_rate=1e9)
+        )
+        self.rng = DeterministicRNG(seed, "pow")
+        self.events = EventLog()
+        self.n = n_miners
+        self.miners = {i: _MinerState() for i in range(n_miners)}
+        for miner in range(n_miners):
+            self.network.register(miner, self._make_handler(miner))
+        self._mine_timer = None
+        self._tx_submit_times: dict[str, float] = {}
+        self._committed_at: dict[str, float] = {}
+        self.orphans = 0
+        self._schedule_next_block()
+
+    # -- mining -------------------------------------------------------------
+
+    def _schedule_next_block(self) -> None:
+        delay = self.rng.exponential(self.config.block_interval_s)
+        self._mine_timer = self.sim.schedule(delay, self._mine_block)
+
+    def _mine_block(self) -> None:
+        winner = self.rng.integers(0, self.n)
+        state = self.miners[winner]
+        txs = tuple(sorted(state.mempool))[: self.config.max_txs_per_block]
+        parent = state.best
+        block = PoWBlock(
+            digest=digest_concat(parent.digest, str(winner).encode(),
+                                 repr(self.sim.now).encode()),
+            parent=parent.digest,
+            height=parent.height + 1,
+            miner=winner,
+            tx_ids=txs,
+            mined_at=self.sim.now,
+        )
+        self.events.record(self.sim.now, "pow.mined", node=winner,
+                           height=block.height, txs=len(txs))
+        self._accept_block(winner, block)
+        self.network.multicast(winner, range(self.n), _BlockGossip(block))
+        self._schedule_next_block()
+
+    def _make_handler(self, miner: int):
+        def handle(envelope) -> None:
+            payload = envelope.payload
+            if payload.kind == "pow.block":
+                self._accept_block(miner, payload.block)
+            elif payload.kind == "pow.tx":
+                state = self.miners[miner]
+                if payload.tx_id not in state.seen_txs:
+                    state.seen_txs.add(payload.tx_id)
+                    state.mempool.add(payload.tx_id)
+        return handle
+
+    def _accept_block(self, miner: int, block: PoWBlock) -> None:
+        state = self.miners[miner]
+        old_best = state.best
+        became_tip = state.add_block(block)
+        if not became_tip:
+            if block.digest not in state.blocks:
+                return
+            if block.height <= old_best.height and block.digest != old_best.digest:
+                self.orphans += 1
+            return
+        state.mempool -= set(block.tx_ids)
+        # confirmation check on the observer with the canonical view
+        if miner == 0:
+            self._update_commitments(state)
+
+    def _update_commitments(self, state: _MinerState) -> None:
+        chain = state.chain()
+        depth_needed = self.config.confirmations
+        for block in chain:
+            if state.best.height - block.height + 1 < depth_needed:
+                continue
+            for tx_id in block.tx_ids:
+                if tx_id in self._tx_submit_times and tx_id not in self._committed_at:
+                    self._committed_at[tx_id] = self.sim.now
+                    self.events.record(
+                        self.sim.now, "pow.committed", node=0, tx_id=tx_id,
+                        latency=self.sim.now - self._tx_submit_times[tx_id],
+                    )
+
+    # -- workload ------------------------------------------------------------
+
+    def submit_tx(self, tx_id: str, origin: int = 0) -> None:
+        """Announce a transaction from *origin*'s mempool to everyone."""
+        self._tx_submit_times[tx_id] = self.sim.now
+        state = self.miners[origin]
+        state.seen_txs.add(tx_id)
+        state.mempool.add(tx_id)
+        self.network.multicast(origin, range(self.n), _TxGossip(tx_id))
+
+    def run(self, until: float) -> None:
+        """Advance the simulation."""
+        self.sim.run(until=until)
+
+    # -- measurements ----------------------------------------------------------
+
+    def commit_latencies(self) -> dict[str, float]:
+        """tx id -> seconds from submission to k-deep confirmation."""
+        return {
+            tx: at - self._tx_submit_times[tx]
+            for tx, at in self._committed_at.items()
+        }
+
+    def hash_work(self) -> float:
+        """Total hashes expended so far (the computing-overhead metric)."""
+        return self.n * self.config.hash_rate_per_miner * self.sim.now

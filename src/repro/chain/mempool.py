@@ -1,0 +1,87 @@
+"""Pending-transaction pool.
+
+Endorsers hold client transactions here until the PBFT primary packs a
+batch into a block proposal.  The pool deduplicates by transaction id,
+serves batches in FIFO order (fee-priority optional), and drops entries
+already committed to the ledger.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.common.errors import ValidationError
+from repro.chain.transaction import Transaction
+
+
+class Mempool:
+    """FIFO transaction pool with deduplication and a size cap.
+
+    Args:
+        capacity: maximum resident transactions; inserting beyond the cap
+            evicts the oldest entry (IoT devices retransmit, so dropping
+            the oldest is safe and bounds memory).
+        fee_priority: when True, :meth:`take_batch` returns highest-fee
+            transactions first instead of FIFO.
+    """
+
+    def __init__(self, capacity: int = 100_000, fee_priority: bool = False) -> None:
+        if capacity <= 0:
+            raise ValidationError("mempool capacity must be positive")
+        self._capacity = capacity
+        self._fee_priority = fee_priority
+        self._pool: OrderedDict[str, Transaction] = OrderedDict()
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def __contains__(self, tx_id: str) -> bool:
+        return tx_id in self._pool
+
+    def add(self, tx: Transaction) -> bool:
+        """Insert *tx*; returns False when it is already pooled."""
+        if tx.tx_id in self._pool:
+            return False
+        if len(self._pool) >= self._capacity:
+            self._pool.popitem(last=False)
+            self.evicted += 1
+        self._pool[tx.tx_id] = tx
+        return True
+
+    def remove(self, tx_id: str) -> bool:
+        """Drop one transaction; returns False when absent."""
+        return self._pool.pop(tx_id, None) is not None
+
+    def remove_committed(self, txs) -> int:
+        """Drop every transaction of a committed block; returns count."""
+        removed = 0
+        for tx in txs:
+            if self._pool.pop(tx.tx_id, None) is not None:
+                removed += 1
+        return removed
+
+    def peek_batch(self, max_txs: int) -> list[Transaction]:
+        """Up to *max_txs* transactions in serving order, without removal."""
+        if max_txs <= 0:
+            return []
+        if self._fee_priority:
+            ranked = sorted(self._pool.values(), key=lambda t: -t.fee)
+            return ranked[:max_txs]
+        out = []
+        for tx in self._pool.values():
+            out.append(tx)
+            if len(out) >= max_txs:
+                break
+        return out
+
+    def take_batch(self, max_txs: int) -> list[Transaction]:
+        """Remove and return up to *max_txs* transactions in serving order."""
+        batch = self.peek_batch(max_txs)
+        for tx in batch:
+            self._pool.pop(tx.tx_id, None)
+        return batch
+
+    def clear(self) -> None:
+        """Empty the pool."""
+        self._pool.clear()

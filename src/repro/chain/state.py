@@ -1,0 +1,87 @@
+"""The key-value state machine committed transactions mutate.
+
+Normal transactions write ``key -> value`` (the latest write wins, like a
+sensor reading register); configuration transactions accumulate committee
+membership changes that the era-switch machinery reads off at the next
+switch.  The state keeps a running digest so replicas can cheaply compare
+that they executed the same history (PBFT checkpoint semantics).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.crypto.hashing import digest_concat, sha256
+from repro.chain.transaction import ConfigAction, ConfigTransaction, NormalTransaction, Transaction
+
+
+class LedgerState:
+    """Deterministic state machine over committed blocks."""
+
+    def __init__(self) -> None:
+        self._kv: dict[str, str] = {}
+        self._applied_tx: set[str] = set()
+        self._pending_adds: list[int] = []
+        self._pending_removes: list[int] = []
+        self._root = sha256(b"genesis-state")
+        self.transactions_applied = 0
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, key: str, default: str | None = None) -> str | None:
+        """Read the latest value written at *key*."""
+        return self._kv.get(key, default)
+
+    def applied(self, tx_id: str) -> bool:
+        """True iff the transaction was already executed (replay guard)."""
+        return tx_id in self._applied_tx
+
+    @property
+    def root(self) -> bytes:
+        """Running digest over the applied history."""
+        return self._root
+
+    @property
+    def pending_membership_changes(self) -> tuple[list[int], list[int]]:
+        """(adds, removes) accumulated since the last drain."""
+        return (list(self._pending_adds), list(self._pending_removes))
+
+    def drain_membership_changes(self) -> tuple[list[int], list[int]]:
+        """Return and clear accumulated (adds, removes) -- called by the
+        era-switch machinery when it snapshots the next committee."""
+        adds, removes = self._pending_adds, self._pending_removes
+        self._pending_adds, self._pending_removes = [], []
+        return (adds, removes)
+
+    # -- mutation -------------------------------------------------------------
+
+    def apply_transaction(self, tx: Transaction) -> bool:
+        """Execute *tx*; returns False (no-op) when already applied.
+
+        Raises:
+            ValidationError: on an unknown transaction kind.
+        """
+        if tx.tx_id in self._applied_tx:
+            return False
+        if isinstance(tx, NormalTransaction):
+            self._kv[tx.key] = tx.value
+        elif isinstance(tx, ConfigTransaction):
+            if tx.action is ConfigAction.ADD_ENDORSER:
+                self._pending_adds.append(tx.subject)
+            else:
+                self._pending_removes.append(tx.subject)
+        elif type(tx) is Transaction:
+            pass  # base transactions carry no state effect
+        else:
+            raise ValidationError(f"unknown transaction kind {type(tx).__name__}")
+        self._applied_tx.add(tx.tx_id)
+        self.transactions_applied += 1
+        self._root = digest_concat(self._root, tx.signing_bytes())
+        return True
+
+    def apply_block(self, block) -> int:
+        """Execute every transaction in *block*; returns how many were new."""
+        fresh = 0
+        for tx in block.transactions:
+            if self.apply_transaction(tx):
+                fresh += 1
+        return fresh

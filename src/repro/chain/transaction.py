@@ -1,0 +1,138 @@
+"""Transactions: the two kinds the paper defines (section III-B2).
+
+* **Normal transactions** change ledger state for application use --
+  sensor readings, mobile-payment records, RFID signal strengths.  Both
+  clients and endorsers may propose them.
+* **Configuration transactions** modify chain configuration -- adding new
+  or removing obsolete endorsers.  Only current endorsers may propose
+  them inside the consensus committee.
+
+Both kinds "carry the geographic information at the end of the
+transaction body", which is how the election table gets fed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.crypto.hashing import digest_concat, sha256_hex
+from repro.crypto.keys import SIGNATURE_BYTES
+from repro.geo.reports import GeoReport
+
+#: Fixed serialized size of the non-payload transaction fields:
+#: ids, fee, nonce and framing.
+_TX_HEADER_BYTES = 40
+
+
+@dataclass(frozen=True, slots=True)
+class Transaction:
+    """Common transaction shape.
+
+    Attributes:
+        sender: proposing node id.
+        nonce: per-sender sequence number; (sender, nonce) is unique.
+        fee: transaction fee paid to the committee (incentive input).
+        geo: the mandatory trailing geographic information.
+        payload_bytes: serialized size of the application payload.
+    """
+
+    sender: int
+    nonce: int
+    fee: float
+    geo: GeoReport
+    payload_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.sender < 0:
+            raise ValidationError("sender must be non-negative")
+        if self.nonce < 0:
+            raise ValidationError("nonce must be non-negative")
+        if self.fee < 0:
+            raise ValidationError("fee must be non-negative")
+        if self.payload_bytes < 0:
+            raise ValidationError("payload_bytes must be non-negative")
+
+    @property
+    def kind(self) -> str:
+        """Message kind for envelopes and traffic accounting."""
+        return "tx.base"
+
+    @property
+    def tx_id(self) -> str:
+        """Content-derived unique identifier."""
+        return sha256_hex(self.signing_bytes())[:32]
+
+    def signing_bytes(self) -> bytes:
+        """Canonical bytes a sender signs (and the digest preimage)."""
+        return digest_concat(
+            self.kind.encode(),
+            str(self.sender).encode(),
+            str(self.nonce).encode(),
+            repr(self.fee).encode(),
+            repr((self.geo.position.lat, self.geo.position.lng, self.geo.timestamp)).encode(),
+            self._body_bytes(),
+        )
+
+    def _body_bytes(self) -> bytes:
+        return b"normal"
+
+    @property
+    def size_bytes(self) -> int:
+        """On-wire size: header + payload + trailing geo + signature."""
+        return _TX_HEADER_BYTES + self.payload_bytes + self.geo.size_bytes + SIGNATURE_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class NormalTransaction(Transaction):
+    """Application data upload (temperature, payment, RFID strength...).
+
+    Attributes:
+        key: state key the transaction writes.
+        value: value written (kept small; size is payload_bytes).
+    """
+
+    key: str = "data"
+    value: str = ""
+
+    @property
+    def kind(self) -> str:
+        """Message kind for dispatch and traffic accounting."""
+        return "tx.normal"
+
+    def _body_bytes(self) -> bytes:
+        return digest_concat(self.key.encode(), self.value.encode())
+
+
+class ConfigAction(enum.Enum):
+    """What a configuration transaction does to the committee."""
+
+    ADD_ENDORSER = "add_endorser"
+    REMOVE_ENDORSER = "remove_endorser"
+
+
+@dataclass(frozen=True, slots=True)
+class ConfigTransaction(Transaction):
+    """Committee-membership change; era switches commit these.
+
+    Attributes:
+        action: add or remove.
+        subject: the endorser id being added/removed.
+    """
+
+    action: ConfigAction = ConfigAction.ADD_ENDORSER
+    subject: int = -1
+
+    def __post_init__(self) -> None:
+        super(ConfigTransaction, self).__post_init__()
+        if self.subject < 0:
+            raise ValidationError("config transaction must name a subject node")
+
+    @property
+    def kind(self) -> str:
+        """Message kind for dispatch and traffic accounting."""
+        return "tx.config"
+
+    def _body_bytes(self) -> bytes:
+        return digest_concat(self.action.value.encode(), str(self.subject).encode())

@@ -1,0 +1,119 @@
+"""Binary primitives: a cursor-based writer/reader pair.
+
+All multi-byte integers are big-endian; floats are IEEE-754 doubles.
+The Reader raises on truncated input and can assert full consumption,
+so codec bugs surface as errors rather than silent misparses.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.errors import ValidationError
+
+
+class Writer:
+    """Append-only byte assembler."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def u8(self, value: int) -> "Writer":
+        """One unsigned byte."""
+        if not 0 <= value < 2**8:
+            raise ValidationError(f"u8 out of range: {value}")
+        self._parts.append(value.to_bytes(1, "big"))
+        return self
+
+    def u32(self, value: int) -> "Writer":
+        """4-byte unsigned big-endian integer."""
+        if not 0 <= value < 2**32:
+            raise ValidationError(f"u32 out of range: {value}")
+        self._parts.append(value.to_bytes(4, "big"))
+        return self
+
+    def u64(self, value: int) -> "Writer":
+        """8-byte unsigned big-endian integer."""
+        if not 0 <= value < 2**64:
+            raise ValidationError(f"u64 out of range: {value}")
+        self._parts.append(value.to_bytes(8, "big"))
+        return self
+
+    def f64(self, value: float) -> "Writer":
+        """8-byte IEEE-754 double."""
+        self._parts.append(struct.pack(">d", value))
+        return self
+
+    def raw(self, data: bytes, expected_len: int | None = None) -> "Writer":
+        """Raw bytes, optionally length-checked against the layout."""
+        if expected_len is not None and len(data) != expected_len:
+            raise ValidationError(
+                f"raw field expected {expected_len} bytes, got {len(data)}"
+            )
+        self._parts.append(bytes(data))
+        return self
+
+    def pad(self, count: int) -> "Writer":
+        """Zero padding (fixed-size header slack)."""
+        if count < 0:
+            raise ValidationError("padding must be >= 0")
+        self._parts.append(b"\x00" * count)
+        return self
+
+    def bytes(self) -> bytes:
+        """The assembled buffer."""
+        return b"".join(self._parts)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._parts)
+
+
+class Reader:
+    """Cursor-based parser over one buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        """Unconsumed byte count."""
+        return len(self._data) - self._pos
+
+    def _take(self, count: int) -> bytes:
+        if self.remaining < count:
+            raise ValidationError(
+                f"truncated message: need {count} bytes, have {self.remaining}"
+            )
+        chunk = self._data[self._pos:self._pos + count]
+        self._pos += count
+        return chunk
+
+    def u8(self) -> int:
+        """One unsigned byte."""
+        return self._take(1)[0]
+
+    def u32(self) -> int:
+        """4-byte unsigned big-endian integer."""
+        return int.from_bytes(self._take(4), "big")
+
+    def u64(self) -> int:
+        """8-byte unsigned big-endian integer."""
+        return int.from_bytes(self._take(8), "big")
+
+    def f64(self) -> float:
+        """8-byte IEEE-754 double."""
+        return struct.unpack(">d", self._take(8))[0]
+
+    def raw(self, count: int) -> bytes:
+        """Exactly *count* raw bytes."""
+        return self._take(count)
+
+    def skip(self, count: int) -> None:
+        """Discard padding."""
+        self._take(count)
+
+    def expect_end(self) -> None:
+        """Raise unless the buffer is fully consumed (layout check)."""
+        if self.remaining != 0:
+            raise ValidationError(f"{self.remaining} trailing bytes after decode")

@@ -1,0 +1,240 @@
+"""Validated configuration for every layer of the G-PBFT reproduction.
+
+The paper's experimental setup (section V-A) fixes a handful of
+constants; they are captured here as dataclass defaults so that every
+experiment, test, and example pulls them from one place:
+
+* initial committee of **4** core nodes,
+* committee bounds **min = 4**, **max = 40**,
+* evaluation sweeps up to **202** participating nodes,
+* era-switch duration of about **0.25 s** (section V-B),
+* election threshold of **72 h** of stationarity (section III-B3).
+
+Calibration constants (processing rate, envelope overhead) are chosen so
+the *shape and order of magnitude* of the paper's Table III fall out of
+the simulation; the derivations are documented inline and verified by
+``tests/test_analysis.py`` and the Table III benchmark.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+
+SECONDS_PER_HOUR = 3600.0
+
+#: Paper section V-B measures an era switch at roughly a quarter second.
+DEFAULT_ERA_SWITCH_SECONDS = 0.25
+
+#: Election threshold from section III-B3: a device keeping the same CSC
+#: for 72 hours becomes eligible for endorsement.
+DEFAULT_STATIONARY_HOURS = 72.0
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Parameters of the simulated message-passing substrate.
+
+    Attributes:
+        processing_rate: messages per second a node can receive and
+            process -- the paper's *s* in the O(n/s) phase-latency model
+            (section IV-B).  The default of 10 msg/s calibrates the
+            latency experiments: an unloaded PBFT commit processes ~2
+            quorums of ~(2n/3) messages per node, i.e. ~4n/(3s) seconds,
+            giving ~5.4 s at the committee cap c = 40 (paper: G-PBFT
+            5.64 s at 202 nodes) and ~27 s at n = 202; the constant
+            per-node transaction workload of Fig. 3 then drives PBFT@202
+            toward saturation and the paper's ~251 s tail.
+        base_latency_s: fixed propagation delay added to every delivery.
+        latency_jitter_s: half-width of the uniform jitter applied on top
+            of ``base_latency_s``.
+        envelope_overhead_bytes: extra bytes charged for framing on every
+            message.  Defaults to 0 because protocol payloads already
+            account their full serialized size (ints 4 B, timestamps 8 B,
+            digests 32 B, signatures 64 B); with those sizes a single
+            PBFT request at n = 202 moves ~8.6 MB -- Table III's 8571 KB.
+        drop_probability: iid probability a unicast message is lost.
+        bandwidth_bps: sender-side link bandwidth in bits/second; each
+            outgoing message serializes through the sender's NIC for
+            ``size * 8 / bandwidth`` seconds before propagating.  0
+            (the default) disables transmission modelling -- the paper's
+            analysis attributes latency to receive-side processing, and
+            the default calibration follows it.
+        seed: base seed for the network's jitter/drop random stream.
+    """
+
+    processing_rate: float = 10.0
+    base_latency_s: float = 0.010
+    latency_jitter_s: float = 0.005
+    envelope_overhead_bytes: int = 0
+    drop_probability: float = 0.0
+    bandwidth_bps: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.processing_rate > 0, "processing_rate must be positive")
+        _require(self.base_latency_s >= 0, "base_latency_s must be >= 0")
+        _require(self.latency_jitter_s >= 0, "latency_jitter_s must be >= 0")
+        _require(self.envelope_overhead_bytes >= 0, "envelope overhead must be >= 0")
+        _require(
+            0.0 <= self.drop_probability < 1.0,
+            "drop_probability must be in [0, 1)",
+        )
+        _require(self.bandwidth_bps >= 0, "bandwidth_bps must be >= 0")
+
+
+@dataclass(frozen=True)
+class PBFTConfig:
+    """Parameters of the baseline PBFT engine (Castro & Liskov).
+
+    Attributes:
+        checkpoint_interval: sequence numbers between stable checkpoints.
+        watermark_window: size of the [h, H] sequence-number window.
+        view_change_timeout_s: how long a backup waits for progress on a
+            pre-prepared request before broadcasting a view change.
+        request_retry_timeout_s: client-side retransmission timeout.
+    """
+
+    checkpoint_interval: int = 64
+    watermark_window: int = 256
+    view_change_timeout_s: float = 120.0
+    request_retry_timeout_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        _require(self.checkpoint_interval > 0, "checkpoint_interval must be > 0")
+        _require(
+            self.watermark_window >= self.checkpoint_interval,
+            "watermark_window must be >= checkpoint_interval",
+        )
+        _require(self.view_change_timeout_s > 0, "view_change_timeout_s must be > 0")
+        _require(self.request_retry_timeout_s > 0, "request_retry_timeout_s must be > 0")
+
+
+@dataclass(frozen=True)
+class CommitteeConfig:
+    """Admittance policy stored in the genesis block (section III-C).
+
+    Attributes:
+        min_endorsers: below this the system stops committing transactions.
+        max_endorsers: above this, endorser election pauses until members
+            leave; era switches are also suppressed at the cap.
+        blacklist: node ids forbidden from ever joining the committee.
+        whitelist: node ids admitted without geographic qualification.
+    """
+
+    min_endorsers: int = 4
+    max_endorsers: int = 40
+    blacklist: frozenset[int] = frozenset()
+    whitelist: frozenset[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        _require(self.min_endorsers >= 4, "PBFT needs at least 4 replicas (3f+1, f>=1)")
+        _require(
+            self.max_endorsers >= self.min_endorsers,
+            "max_endorsers must be >= min_endorsers",
+        )
+        overlap = self.blacklist & self.whitelist
+        _require(not overlap, f"nodes cannot be both black- and whitelisted: {sorted(overlap)}")
+
+
+@dataclass(frozen=True)
+class ElectionConfig:
+    """Geographic endorser-election parameters (sections III-B3, III-D).
+
+    Attributes:
+        stationary_hours: hours a device must keep the same CSC before it
+            can be elected (72 h in the paper).
+        report_interval_s: how often devices upload location reports.
+        min_reports: Algorithm 1's threshold ``n`` -- an endorser that
+            reported fewer locations than this over the audit window is
+            judged invalid.
+        audit_window_s: Algorithm 1's look-back period ``t``.
+        csc_precision: geohash length used for CSC equality; 12 characters
+            is roughly the paper's "one square metre" resolution.
+    """
+
+    stationary_hours: float = DEFAULT_STATIONARY_HOURS
+    report_interval_s: float = 6 * SECONDS_PER_HOUR
+    min_reports: int = 3
+    audit_window_s: float = 24 * SECONDS_PER_HOUR
+    csc_precision: int = 12
+
+    def __post_init__(self) -> None:
+        _require(self.stationary_hours > 0, "stationary_hours must be > 0")
+        _require(self.report_interval_s > 0, "report_interval_s must be > 0")
+        _require(self.min_reports >= 1, "min_reports must be >= 1")
+        _require(self.audit_window_s > 0, "audit_window_s must be > 0")
+        _require(1 <= self.csc_precision <= 24, "csc_precision must be in [1, 24]")
+
+
+@dataclass(frozen=True)
+class EraConfig:
+    """Era-switch behaviour (sections III-B4, III-E).
+
+    Attributes:
+        period_s: Algorithm 1 cadence ``T`` -- how often the committee
+            audits membership and, if anything changed, switches era.
+        switch_duration_s: length of the switch period during which the
+            system refuses to process or commit transactions.
+    """
+
+    period_s: float = 6 * SECONDS_PER_HOUR
+    switch_duration_s: float = DEFAULT_ERA_SWITCH_SECONDS
+
+    def __post_init__(self) -> None:
+        _require(self.period_s > 0, "era period must be > 0")
+        _require(self.switch_duration_s >= 0, "switch duration must be >= 0")
+
+
+@dataclass(frozen=True)
+class IncentiveConfig:
+    """Reward split and proposer weighting (section III-B5).
+
+    Attributes:
+        producer_share: fraction of the transaction fee paid to the block
+            producer (0.70 in the paper).
+        endorser_share: fraction shared among the endorsing committee
+            (0.30 in the paper).  Shares must sum to 1.
+        timer_weighting: when True, the chance of being picked as block
+            producer is proportional to the endorser's geographic timer.
+    """
+
+    producer_share: float = 0.70
+    endorser_share: float = 0.30
+    timer_weighting: bool = True
+
+    def __post_init__(self) -> None:
+        _require(0 <= self.producer_share <= 1, "producer_share must be in [0, 1]")
+        _require(0 <= self.endorser_share <= 1, "endorser_share must be in [0, 1]")
+        _require(
+            abs(self.producer_share + self.endorser_share - 1.0) < 1e-9,
+            "producer_share + endorser_share must equal 1",
+        )
+
+
+@dataclass(frozen=True)
+class GPBFTConfig:
+    """Top-level configuration bundling every subsystem's parameters."""
+
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    pbft: PBFTConfig = field(default_factory=PBFTConfig)
+    committee: CommitteeConfig = field(default_factory=CommitteeConfig)
+    election: ElectionConfig = field(default_factory=ElectionConfig)
+    era: EraConfig = field(default_factory=EraConfig)
+    incentive: IncentiveConfig = field(default_factory=IncentiveConfig)
+
+    def replace(self, **overrides: object) -> "GPBFTConfig":
+        """Return a copy with top-level sections replaced.
+
+        Example::
+
+            cfg = GPBFTConfig().replace(committee=CommitteeConfig(max_endorsers=20))
+        """
+        return dataclasses.replace(self, **overrides)  # type: ignore[arg-type]

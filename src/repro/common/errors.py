@@ -1,0 +1,61 @@
+"""Exception hierarchy for the G-PBFT reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch
+one base class.  Subsystems raise the most specific subclass available;
+none of them ever raise bare ``Exception``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic primitive was misused (bad key, bad digest, ...)."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed verification or was produced with a foreign key."""
+
+
+class GeoError(ReproError):
+    """Invalid geographic data: out-of-range coordinates, bad geohash, ..."""
+
+
+class NetworkError(ReproError):
+    """Simulated-network failures: unknown destination, closed interface."""
+
+
+class ChainError(ReproError):
+    """Blockchain substrate errors: bad block linkage, unknown parent, ..."""
+
+
+class ValidationError(ChainError):
+    """A transaction or block failed semantic validation."""
+
+
+class ForkError(ChainError):
+    """Two conflicting blocks were observed at the same height."""
+
+
+class ConsensusError(ReproError):
+    """Protocol-level errors inside PBFT or G-PBFT state machines."""
+
+
+class QuorumError(ConsensusError):
+    """An operation required a quorum that is impossible with current N/f."""
+
+
+class EraSwitchError(ConsensusError):
+    """Invalid era-switch transition (e.g. committing during the switch)."""
+
+
+class MembershipError(ConsensusError):
+    """Committee membership violation: below minimum, above maximum,
+    blacklisted node admitted, or unknown endorser referenced."""

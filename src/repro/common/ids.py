@@ -1,0 +1,63 @@
+"""Strongly-typed identifiers used across the protocol stack.
+
+The protocol juggles several integer-like quantities -- node identifiers,
+era numbers, view numbers, sequence numbers.  Mixing them up is a classic
+source of consensus bugs, so each gets a distinct ``NewType``-style alias
+plus a small helper namespace for formatting and validation.
+"""
+
+from __future__ import annotations
+
+from typing import NewType
+
+#: Identifier of a participant (endorser, client, or IoT device).
+NodeId = NewType("NodeId", int)
+
+#: Monotonically increasing era number.  Era 0 is the genesis era whose
+#: committee is listed in the genesis block (paper section III-C).
+Era = NewType("Era", int)
+
+#: PBFT view number within an era.  View v has primary ``v mod N``.
+View = NewType("View", int)
+
+#: PBFT sequence number assigned by the primary to a request.
+SeqNum = NewType("SeqNum", int)
+
+#: Unique identifier of a client request / transaction submission.
+RequestId = NewType("RequestId", str)
+
+
+def node_name(node_id: int) -> str:
+    """Human-readable label for a node id, used in logs and reprs."""
+    return f"node-{node_id:04d}"
+
+
+def validate_node_id(node_id: int) -> NodeId:
+    """Check that *node_id* is a non-negative integer and return it typed.
+
+    Raises:
+        TypeError: if *node_id* is not an ``int`` (bools are rejected too).
+        ValueError: if *node_id* is negative.
+    """
+    if isinstance(node_id, bool) or not isinstance(node_id, int):
+        raise TypeError(f"node id must be an int, got {type(node_id).__name__}")
+    if node_id < 0:
+        raise ValueError(f"node id must be non-negative, got {node_id}")
+    return NodeId(node_id)
+
+
+def primary_for_view(view: int, committee_size: int) -> int:
+    """Return the index of the primary replica for *view*.
+
+    PBFT rotates the primary round-robin: ``p = v mod |R|`` (Castro &
+    Liskov, OSDI'99 section 4).  The result is an *index into the ordered
+    committee*, not a raw :data:`NodeId`.
+
+    Raises:
+        ValueError: if the committee is empty or the view negative.
+    """
+    if committee_size <= 0:
+        raise ValueError("committee must be non-empty")
+    if view < 0:
+        raise ValueError("view must be non-negative")
+    return view % committee_size

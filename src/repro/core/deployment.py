@@ -1,0 +1,319 @@
+"""Harness: a complete G-PBFT network over one simulator.
+
+Builds the deployment the paper evaluates: a small physical region, a
+population of IoT nodes (fixed and mobile), a genesis committee of core
+endorsers, and the full G-PBFT stack on every node.  Mirrors
+:class:`repro.pbft.cluster.PBFTCluster` so experiments can swap the two
+protocols behind one interface.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import GPBFTConfig
+from repro.common.errors import ConsensusError
+from repro.common.eventlog import EventLog
+from repro.common.rng import DeterministicRNG
+from repro.chain.genesis import build_genesis
+from repro.core.node import GPBFTNode
+from repro.geo.coords import LatLng, Region
+from repro.geo.index import IndexedDirectory
+from repro.net.network import SimulatedNetwork
+from repro.net.simulator import Simulator
+
+#: Default deployment area: a ~1 km-square city district (Hong Kong).
+DEFAULT_REGION = Region.around(LatLng(22.3193, 114.1694), half_side_m=500.0)
+
+
+class GPBFTDeployment:
+    """N IoT nodes running G-PBFT in one simulated region.
+
+    Args:
+        n_nodes: total participating nodes (endorsers + plain devices).
+        n_endorsers: size of the genesis committee; defaults to
+            ``min(n_nodes, max_endorsers)``, which is how the paper's
+            sweeps populate the committee ("when the number of nodes is
+            smaller than the maximal value ... all eligible nodes can
+            join", section V-B).
+        config: protocol configuration bundle.
+        region: deployment area; nodes are placed uniformly inside.
+        mode: ``"per_tx"`` or ``"block"`` ordering (see
+            :class:`~repro.core.node.GPBFTNode`).
+        fixed_fraction: fraction of *non-endorser* devices that are
+            fixed (endorsers are always fixed installations).
+        seed: experiment seed (placement, report jitter, network).
+        sim: pass an existing simulator to co-host other components.
+        start_reports: arm every node's periodic geo-report loop.
+        block_interval_s: producer cadence in block mode.
+        sybil_protection: install the geographic report-admission filter
+            (exclusivity + witness corroboration) on every endorser.
+        witness_range_m: device observation range for the witness oracle.
+        faults: node id -> fault model (crash/byzantine injection).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        n_endorsers: int | None = None,
+        config: GPBFTConfig | None = None,
+        region: Region = DEFAULT_REGION,
+        mode: str = "per_tx",
+        fixed_fraction: float = 1.0,
+        seed: int = 0,
+        sim: Simulator | None = None,
+        start_reports: bool = True,
+        block_interval_s: float = 5.0,
+        sybil_protection: bool = False,
+        witness_range_m: float = 150.0,
+        faults: dict | None = None,
+    ) -> None:
+        self.config = config or GPBFTConfig()
+        policy = self.config.committee
+        if n_endorsers is None:
+            n_endorsers = min(n_nodes, policy.max_endorsers)
+        if n_endorsers < policy.min_endorsers:
+            raise ConsensusError(
+                f"need at least {policy.min_endorsers} endorsers, got {n_endorsers}"
+            )
+        if n_endorsers > n_nodes:
+            raise ConsensusError("cannot have more endorsers than nodes")
+        if not 0.0 <= fixed_fraction <= 1.0:
+            raise ConsensusError("fixed_fraction must be in [0, 1]")
+
+        self.sim = sim or Simulator()
+        self.rng = DeterministicRNG(seed, "deployment")
+        self.network = SimulatedNetwork(
+            self.sim, self.config.network, rng=DeterministicRNG(seed, "network")
+        )
+        self.events = EventLog()
+        self.region = region
+        self.mode = mode
+
+        # -- placement -------------------------------------------------------
+        placement = self.rng.fork("placement")
+        self.positions: dict[int, LatLng] = {
+            node: region.sample(placement) for node in range(n_nodes)
+        }
+        endorser_ids = tuple(range(n_endorsers))
+        self.genesis = build_genesis(
+            {node: self.positions[node] for node in endorser_ids},
+            policy=policy,
+            precision=self.config.election.csc_precision,
+        )
+
+        # -- nodes ------------------------------------------------------------
+        # indexed directory: nodes route and witness via spatial queries
+        self.directory: IndexedDirectory = IndexedDirectory(self.positions)
+        self.nodes: dict[int, GPBFTNode] = {}
+        for node_id in range(n_nodes):
+            fixed = node_id in endorser_ids or placement.random() < fixed_fraction
+            node = GPBFTNode(
+                node_id=node_id,
+                position=self.positions[node_id],
+                sim=self.sim,
+                network=self.network,
+                genesis=self.genesis,
+                config=self.config,
+                directory=self.directory,
+                event_log=self.events,
+                rng=self.rng.fork(f"node/{node_id}"),
+                fixed=fixed,
+                mode=mode,
+                block_interval_s=block_interval_s,
+                faults=(faults or {}).get(node_id),
+            )
+            node._chain_sync_hook = self._chain_sync
+            self.nodes[node_id] = node
+            self.network.register(node_id, node.on_envelope)
+            if start_reports:
+                node.start_reporting()
+
+        # -- Sybil defence -----------------------------------------------------
+        self.sybil_protection = sybil_protection
+        self.witness_range_m = witness_range_m
+        self._oracle = None
+        if sybil_protection:
+            from repro.geo.verification import LocationAuditor
+            from repro.sybil.detection import GroundTruthWitnessOracle, ReportAdmission
+
+            self._oracle = GroundTruthWitnessOracle(self.directory, witness_range_m)
+            for node in self.nodes.values():
+                node.admission = ReportAdmission(
+                    LocationAuditor(
+                        witness_range_m=witness_range_m,
+                        precision=self.config.election.csc_precision,
+                        # a cell claim holds for a full reporting round: one 1 m^2
+                        # cell hosts one fixed device, so a second identity
+                        # claiming it inside the round is a duplicate
+                        round_seconds=self.config.election.report_interval_s,
+                    ),
+                    self._oracle,
+                )
+        self._start_reports = start_reports
+        self._next_node_id = n_nodes
+
+    # ------------------------------------------------------------------
+
+    @property
+    def committee(self) -> tuple[int, ...]:
+        """The committee according to the lowest-id current member."""
+        for node in self.nodes.values():
+            if node.is_member:
+                return node.committee
+        raise ConsensusError("no active committee member found")
+
+    @property
+    def endorsers(self) -> list[GPBFTNode]:
+        """Nodes currently holding the endorser role."""
+        return [n for n in self.nodes.values() if n.is_member]
+
+    @property
+    def devices(self) -> list[GPBFTNode]:
+        """Nodes currently acting purely as clients."""
+        return [n for n in self.nodes.values() if not n.is_member]
+
+    def _chain_sync(self, node: GPBFTNode, from_node: int) -> None:
+        """State transfer for newly elected endorsers.
+
+        Copies the missing blocks from *from_node*'s ledger and charges
+        their bytes as one ``chain.sync`` transfer on the traffic stats
+        (a real implementation would stream them; latency of the stream
+        is dominated by the switch period and omitted).
+        """
+        source = self.nodes[from_node].ledger
+        total = 0
+        for height in range(node.ledger.height + 1, source.height + 1):
+            block = source.block_at(height)
+            node.ledger.append(block)
+            total += block.size_bytes
+        if total > 0:
+            self.network.stats.on_send(from_node, "chain.sync", total)
+            self.network.stats.on_deliver(node.node_id, "chain.sync", total)
+
+    # ------------------------------------------------------------------
+    # attacker injection
+    # ------------------------------------------------------------------
+
+    def add_sybils(
+        self,
+        count: int,
+        strategy=None,
+        true_position: LatLng | None = None,
+        seed: int = 99,
+    ):
+        """Register *count* Sybil identities controlled by one attacker.
+
+        Each identity is a full protocol node whose *reported* position
+        is the fabricated claim, while the ground-truth directory records
+        the attacker's single true position -- so witness oracles see the
+        physics, not the lie.
+
+        Returns:
+            The :class:`~repro.sybil.attacker.SybilAttacker` holding the
+            created identities.
+        """
+        from repro.geo.verification import LocationAuditor
+        from repro.sybil.attacker import SybilAttacker, SybilStrategy
+        from repro.sybil.detection import ReportAdmission
+
+        strategy = strategy or SybilStrategy.EMPTY_CELL
+        attacker = SybilAttacker(
+            true_position=true_position or self.region.center,
+            region=self.region,
+            strategy=strategy,
+            rng=DeterministicRNG(seed, "sybil"),
+        )
+        ids = list(range(self._next_node_id, self._next_node_id + count))
+        self._next_node_id += count
+        honest_positions = {i: p for i, p in self.positions.items()}
+        identities = attacker.spawn_identities(ids, honest_positions)
+        for identity in identities:
+            node = GPBFTNode(
+                node_id=identity.node_id,
+                position=identity.claimed_position,
+                sim=self.sim,
+                network=self.network,
+                genesis=self.genesis,
+                config=self.config,
+                directory=self.directory,
+                event_log=self.events,
+                rng=self.rng.fork(f"sybil/{identity.node_id}"),
+                fixed=True,
+                mode=self.mode,
+            )
+            node._chain_sync_hook = self._chain_sync
+            self.nodes[identity.node_id] = node
+            self.network.register(identity.node_id, node.on_envelope)
+            # physics: the attacker's hardware sits at its true position
+            self.directory[identity.node_id] = identity.true_position
+            if self.sybil_protection and self._oracle is not None:
+                node.admission = ReportAdmission(
+                    LocationAuditor(
+                        witness_range_m=self.witness_range_m,
+                        precision=self.config.election.csc_precision,
+                        # a cell claim holds for a full reporting round: one 1 m^2
+                        # cell hosts one fixed device, so a second identity
+                        # claiming it inside the round is a duplicate
+                        round_seconds=self.config.election.report_interval_s,
+                    ),
+                    self._oracle,
+                )
+            if self._start_reports:
+                node.start_reporting()
+        return attacker
+
+    # ------------------------------------------------------------------
+    # experiment helpers
+    # ------------------------------------------------------------------
+
+    def submit_from(self, node_id: int) -> str:
+        """Submit one auto-generated transaction from *node_id*."""
+        return self.nodes[node_id].submit_transaction()
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Advance the simulation."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    def run_for(self, duration: float) -> int:
+        """Advance the simulation by *duration* seconds."""
+        return self.sim.run_for(duration)
+
+    def completed_latencies(self) -> dict[str, float]:
+        """request id -> commit latency, across every node's client."""
+        out: dict[str, float] = {}
+        for node in self.nodes.values():
+            out.update(node.client.completed)
+        return out
+
+    def ledgers_consistent(self) -> bool:
+        """True iff every active endorser holds a prefix-consistent chain."""
+        chains = []
+        for node in self.endorsers:
+            chain = [node.ledger.block_at(h).digest() for h in range(node.ledger.height + 1)]
+            chains.append(chain)
+        if not chains:
+            return True
+        shortest = min(len(c) for c in chains)
+        head = [c[:shortest] for c in chains]
+        return all(c == head[0] for c in head)
+
+    def force_audit(self) -> None:
+        """Run one Algorithm-1 audit on every endorser immediately
+        (experiments use this instead of waiting for the era period)."""
+        for node in self.endorsers:
+            if node.replica is not None and not node.switching:
+                node._run_audit()
+
+    def force_era_switch(self) -> None:
+        """Commit a composition-preserving era switch right now.
+
+        Used by the Fig. 3b reproduction to place a switch period inside
+        the measurement window (the circled latency outliers).
+        """
+        from repro.core.messages import EraSwitchOperation
+
+        members = self.committee
+        lead = self.nodes[members[0]]
+        op = EraSwitchOperation(
+            new_era=lead.era + 1, committee=members, added=(), removed=()
+        )
+        lead.client.submit(op)

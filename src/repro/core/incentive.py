@@ -1,0 +1,159 @@
+"""The incentive mechanism (paper section III-B5).
+
+* Block producers are selected with probability proportional to their
+  geographic timer ("a longer time in the geographic timer will have a
+  higher chance of generating a new block").
+* The producer of a block earns **70 %** of its transaction fees; the
+  endorsers who endorsed it share the remaining **30 %**.
+* Producing a block resets the producer's geographic timer.
+* Endorsers flagged for misbehaviour (missed block / fork) are excluded
+  from rewards until cleared.
+
+Producer selection must be *identical at every endorser* without extra
+communication, so it hashes the (era, height) coordinates with the
+timer-weight vector into a deterministic lottery draw.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.common.config import IncentiveConfig
+from repro.common.errors import ConsensusError
+
+
+def select_producer(
+    timers: dict[int, float],
+    era: int,
+    height: int,
+    timer_weighting: bool = True,
+    attempt: int = 0,
+) -> int:
+    """Deterministically pick the next block producer.
+
+    Args:
+        timers: endorser id -> geographic timer seconds (>= 0).
+        era: current era (lottery domain separation).
+        height: chain height the block will occupy.
+        timer_weighting: when False, a uniform deterministic rotation.
+        attempt: fallback round.  The lottery for a given (era, height)
+            is deterministic, so a crashed winner would stall block
+            production forever; endorsers that see no block appear
+            within a production interval re-draw with attempt+1, which
+            rotates the duty to a different (eventually every) member.
+
+    Every honest endorser evaluating this with the same inputs picks the
+    same producer.  When all timers are zero the draw is uniform.
+
+    Raises:
+        ConsensusError: on an empty or negative-weighted timer map.
+    """
+    if not timers:
+        raise ConsensusError("cannot select a producer from an empty committee")
+    nodes = sorted(timers)
+    if any(timers[n] < 0 for n in nodes):
+        raise ConsensusError("geographic timers must be non-negative")
+    seed = hashlib.sha256(f"producer:{era}:{height}:{attempt}".encode()).digest()
+    draw = int.from_bytes(seed[:8], "big") / float(1 << 64)
+    if not timer_weighting:
+        return nodes[int(draw * len(nodes)) % len(nodes)]
+    total = sum(timers[n] for n in nodes)
+    if total <= 0:
+        return nodes[int(draw * len(nodes)) % len(nodes)]
+    threshold = draw * total
+    acc = 0.0
+    for n in nodes:
+        acc += timers[n]
+        if acc >= threshold:
+            return n
+    return nodes[-1]
+
+
+@dataclass(frozen=True, slots=True)
+class RewardEvent:
+    """Ledger line of one block's payout."""
+
+    height: int
+    producer: int
+    producer_reward: float
+    endorser_reward_each: float
+    endorsers_paid: tuple[int, ...]
+
+
+class IncentiveEngine:
+    """Account balances and payout rules.
+
+    Args:
+        config: fee split and weighting flags.
+    """
+
+    def __init__(self, config: IncentiveConfig | None = None) -> None:
+        self.config = config or IncentiveConfig()
+        self.balances: dict[int, float] = defaultdict(float)
+        self.blocks_produced: dict[int, int] = defaultdict(int)
+        self._excluded: set[int] = set()
+        self.history: list[RewardEvent] = []
+
+    # -- sanctions ----------------------------------------------------------
+
+    def exclude(self, node: int) -> None:
+        """Stop paying *node* (missed block / caused fork)."""
+        self._excluded.add(node)
+
+    def reinstate(self, node: int) -> None:
+        """Clear a sanction."""
+        self._excluded.discard(node)
+
+    def is_excluded(self, node: int) -> bool:
+        """True iff *node* currently receives no rewards."""
+        return node in self._excluded
+
+    # -- payouts ------------------------------------------------------------
+
+    def on_block(self, height: int, producer: int, endorsers, total_fee: float) -> RewardEvent:
+        """Pay out one committed block's fees.
+
+        The producer gets ``producer_share``; the *other* endorsers split
+        ``endorser_share`` equally.  Excluded nodes are skipped (their
+        share is burned, not redistributed -- misbehaviour must not
+        increase anyone's payout).
+
+        Raises:
+            ConsensusError: on a negative fee.
+        """
+        if total_fee < 0:
+            raise ConsensusError("total fee must be >= 0")
+        producer_cut = self.config.producer_share * total_fee
+        endorser_pool = self.config.endorser_share * total_fee
+        others = [e for e in sorted(set(endorsers)) if e != producer]
+        per_endorser = endorser_pool / len(others) if others else 0.0
+
+        paid: list[int] = []
+        if producer not in self._excluded:
+            self.balances[producer] += producer_cut
+        self.blocks_produced[producer] += 1
+        for e in others:
+            if e in self._excluded:
+                continue
+            self.balances[e] += per_endorser
+            paid.append(e)
+
+        event = RewardEvent(
+            height=height,
+            producer=producer,
+            producer_reward=producer_cut if producer not in self._excluded else 0.0,
+            endorser_reward_each=per_endorser,
+            endorsers_paid=tuple(paid),
+        )
+        self.history.append(event)
+        return event
+
+    def balance(self, node: int) -> float:
+        """Current balance of *node*."""
+        return self.balances.get(node, 0.0)
+
+    def total_paid(self) -> float:
+        """Sum of every balance (for conservation checks in tests)."""
+        return sum(self.balances.values())

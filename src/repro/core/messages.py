@@ -1,0 +1,189 @@
+"""G-PBFT wire payloads and the operations its PBFT engine orders.
+
+Two kinds of objects live here:
+
+* **network payloads** (``kind`` + ``size_bytes``) that travel in
+  envelopes: periodic geo reports, committee announcements after era
+  switches, raw transaction submissions in block-production mode;
+* **PBFT operations** (implementing :class:`repro.pbft.messages.Operation`)
+  that ride inside client requests: a single transaction, an era switch,
+  or a whole block proposal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConsensusError
+from repro.crypto.keys import SIGNATURE_BYTES
+from repro.crypto.hashing import digest_concat
+from repro.chain.block import Block
+from repro.chain.transaction import Transaction
+from repro.geo.reports import GeoReport
+
+_INT_BYTES = 4
+
+
+@dataclass(frozen=True, slots=True)
+class GeoReportMsg:
+    """Periodic ``<lng, lat, ts>`` upload, signed by the device."""
+
+    report: GeoReport
+
+    @property
+    def kind(self) -> str:
+        """Message kind for dispatch and traffic accounting."""
+        return "geo.report"
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size in bytes (verified by repro.codec)."""
+        return self.report.size_bytes + SIGNATURE_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class CommitteeInfo:
+    """Announcement of the committee of *era* (sent after era switches).
+
+    Devices use it to retarget their request routing; newly elected
+    endorsers use it to activate their consensus machinery.  Receivers
+    should trust it only after seeing f+1 identical copies (the node
+    layer enforces that for activation decisions).
+    """
+
+    era: int
+    committee: tuple[int, ...]
+    sender: int
+
+    def __post_init__(self) -> None:
+        if self.era < 0:
+            raise ConsensusError("era must be >= 0")
+        if not self.committee:
+            raise ConsensusError("committee must be non-empty")
+
+    @property
+    def kind(self) -> str:
+        """Message kind for dispatch and traffic accounting."""
+        return "gpbft.committee_info"
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size in bytes (verified by repro.codec)."""
+        return 2 * _INT_BYTES + _INT_BYTES * len(self.committee) + SIGNATURE_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class TxSubmission:
+    """Raw transaction hand-off to an endorser (block-production mode)."""
+
+    tx: Transaction
+    forwarded: bool = False
+
+    @property
+    def kind(self) -> str:
+        """Message kind for dispatch and traffic accounting."""
+        return "tx.submit"
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size in bytes (verified by repro.codec)."""
+        return self.tx.size_bytes + _INT_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class TxOperation:
+    """PBFT operation wrapping one transaction (per-transaction mode).
+
+    This is the configuration the paper's latency/traffic experiments
+    measure: every transaction goes through one consensus instance.
+    """
+
+    tx: Transaction
+
+    @property
+    def op_id(self) -> str:
+        """Unique operation id (PBFT request dedup key)."""
+        return self.tx.tx_id
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size in bytes (verified by repro.codec)."""
+        return self.tx.size_bytes
+
+    def signing_bytes(self) -> bytes:
+        """Canonical bytes committed to by request digests."""
+        return self.tx.signing_bytes()
+
+
+@dataclass(frozen=True, slots=True)
+class EraSwitchOperation:
+    """PBFT operation committing an era switch.
+
+    Attributes:
+        new_era: era number after the switch.
+        committee: full committee of the new era.
+        added: ids elected this switch.
+        removed: ids evicted this switch.
+    """
+
+    new_era: int
+    committee: tuple[int, ...]
+    added: tuple[int, ...]
+    removed: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.new_era < 1:
+            raise ConsensusError("new_era must be >= 1")
+        if not self.committee:
+            raise ConsensusError("new committee must be non-empty")
+        if set(self.added) & set(self.removed):
+            raise ConsensusError("a node cannot be both added and removed")
+
+    @property
+    def op_id(self) -> str:
+        """Unique operation id (PBFT request dedup key)."""
+        return f"era-switch:{self.new_era}"
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size in bytes (verified by repro.codec)."""
+        # wire layout (repro.codec): new_era + three list-length words,
+        # then one word per listed node id
+        return _INT_BYTES * (4 + len(self.committee) + len(self.added) + len(self.removed))
+
+    def signing_bytes(self) -> bytes:
+        """Canonical bytes committed to by request digests."""
+        return digest_concat(
+            b"era-switch",
+            str(self.new_era).encode(),
+            repr(sorted(self.committee)).encode(),
+            repr(sorted(self.added)).encode(),
+            repr(sorted(self.removed)).encode(),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class BlockProposalOperation:
+    """PBFT operation carrying a producer-assembled block.
+
+    Attributes:
+        block: the proposed block (already merkle-rooted).
+        producer: endorser selected by the timer-weighted lottery.
+    """
+
+    block: Block
+    producer: int
+
+    @property
+    def op_id(self) -> str:
+        """Unique operation id (PBFT request dedup key)."""
+        return f"block:{self.block.digest().hex()[:24]}"
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size in bytes (verified by repro.codec)."""
+        return self.block.size_bytes + _INT_BYTES
+
+    def signing_bytes(self) -> bytes:
+        """Canonical bytes committed to by request digests."""
+        return digest_concat(b"block-proposal", self.block.digest(), str(self.producer).encode())

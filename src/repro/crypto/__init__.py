@@ -1,0 +1,40 @@
+"""Simulated cryptographic primitives.
+
+The paper's threat model (section III-A) assumes public-key primitives
+that adversaries cannot break: signatures cannot be forged and messages
+signed by others cannot be tampered with.  For a closed simulation we do
+not need real elliptic-curve cryptography -- we need a scheme with the
+*same interface and security semantics inside the simulation*:
+
+* every node owns a :class:`~repro.crypto.keys.KeyPair`;
+* :meth:`~repro.crypto.keys.PrivateKey.sign` produces a deterministic
+  HMAC-SHA256 tag over the message bytes;
+* verification succeeds only with the matching public key, because the
+  public key commits to the HMAC secret through a registry lookup that
+  simulated adversaries cannot read.
+
+Signature and digest byte sizes mirror Ed25519/SHA-256 (64 B and 32 B) so
+that communication-cost accounting stays realistic.
+"""
+
+from repro.crypto.hashing import sha256, sha256_hex, digest_concat, HASH_BYTES
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey, Signature, SIGNATURE_BYTES
+from repro.crypto.merkle import MerkleTree, MerkleProof, merkle_root
+from repro.crypto.address import Address, address_from_public_key
+
+__all__ = [
+    "sha256",
+    "sha256_hex",
+    "digest_concat",
+    "HASH_BYTES",
+    "KeyPair",
+    "PrivateKey",
+    "PublicKey",
+    "Signature",
+    "SIGNATURE_BYTES",
+    "MerkleTree",
+    "MerkleProof",
+    "merkle_root",
+    "Address",
+    "address_from_public_key",
+]

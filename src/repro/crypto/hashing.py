@@ -1,0 +1,40 @@
+"""Hashing helpers shared by blocks, transactions, and merkle trees."""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Byte length of every digest produced by this module (SHA-256).
+HASH_BYTES = 32
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest of *data* as raw bytes.
+
+    Raises:
+        TypeError: if *data* is not ``bytes`` (str must be encoded first,
+            so that hashing is always over an explicit byte encoding).
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise TypeError(f"sha256 expects bytes, got {type(data).__name__}")
+    return hashlib.sha256(bytes(data)).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """SHA-256 digest of *data* as a lowercase hex string."""
+    return sha256(data).hex()
+
+
+def digest_concat(*parts: bytes) -> bytes:
+    """Hash the length-prefixed concatenation of *parts*.
+
+    Length prefixes prevent ambiguity attacks where ``(b"ab", b"c")`` and
+    ``(b"a", b"bc")`` would otherwise hash identically.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        if not isinstance(part, (bytes, bytearray, memoryview)):
+            raise TypeError(f"digest_concat expects bytes parts, got {type(part).__name__}")
+        h.update(len(part).to_bytes(8, "big"))
+        h.update(bytes(part))
+    return h.digest()

@@ -1,0 +1,120 @@
+"""Command-line entry point: regenerate any figure or table.
+
+Usage::
+
+    gpbft-experiments fig3            # or: python -m repro.experiments fig3
+    gpbft-experiments table3 --profile paper
+    gpbft-experiments all --out results/
+
+Profiles: ``quick`` (default, laptop-fast) or ``paper`` (the full
+section-V scale: 202 nodes, 10 repetitions -- takes tens of minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import extensions, figures, tables
+from repro.experiments.profiles import PAPER, QUICK
+
+_EXPERIMENTS = {
+    "fig3": lambda p: figures.figure3(p),
+    "fig4": lambda p: figures.figure4(p),
+    "fig5": lambda p: figures.figure5(p),
+    "fig6": lambda p: figures.figure6(p),
+    "table2": lambda p: tables.table2(),
+    "table3": lambda p: tables.table3(p),
+    "table4": lambda p: tables.table4(),
+    # extension experiments beyond the paper's evaluation
+    "throughput": lambda p: extensions.throughput_experiment(),
+    "era-churn": lambda p: extensions.era_churn_experiment(),
+    "table4-measured": lambda p: tables.table4_measured(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="gpbft-experiments",
+        description="Regenerate the G-PBFT paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=["quick", "paper"],
+        default=os.environ.get("GPBFT_BENCH_PROFILE", "quick"),
+        help="experiment scale (default: quick, or $GPBFT_BENCH_PROFILE)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to also write each report into (one .txt per id)",
+    )
+    parser.add_argument(
+        "--svg",
+        type=Path,
+        default=None,
+        help="directory to render figure experiments as SVG charts",
+    )
+    return parser
+
+
+def _write_svgs(name: str, result, profile_name: str, out_dir: Path) -> list[Path]:
+    """Render a figure result's series to SVG files; tables are skipped."""
+    from repro.metrics.svgplot import boxplot_chart, line_chart, save_svg
+
+    series = getattr(result, "series", None)
+    if not series:
+        return []
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    if name == "fig3":
+        # per-series boxplots, like the paper's 3a / 3b panels
+        for sweep in series:
+            slug = sweep.name.lower().replace(" ", "-").replace("(", "").replace(")", "")
+            path = out_dir / f"{name}_{slug}_{profile_name}.svg"
+            save_svg(boxplot_chart(sweep, title=f"{name}: {sweep.name}"), path)
+            written.append(path)
+    else:
+        path = out_dir / f"{name}_{profile_name}.svg"
+        save_svg(line_chart(series, title=name), path)
+        written.append(path)
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the selected experiment(s); returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    profile = PAPER if args.profile == "paper" else QUICK
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        started = time.perf_counter()
+        result = _EXPERIMENTS[name](profile)
+        elapsed = time.perf_counter() - started
+        print(f"\n{'=' * 72}\n{name} ({args.profile} profile, {elapsed:.1f}s)\n{'=' * 72}")
+        print(result.text)
+        if args.out is not None:
+            path = args.out / f"{name}_{args.profile}.txt"
+            path.write_text(result.text + "\n")
+            print(f"[written to {path}]")
+        if args.svg is not None:
+            for path in _write_svgs(name, result, args.profile, args.svg):
+                print(f"[chart written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,275 @@
+"""Point measurements and sweeps behind every figure and table.
+
+Latency points reproduce section V-B's setup: transactions arrive at a
+constant aggregate rate (n nodes each proposing every R seconds gives
+one arrival every R/n seconds), the first ``warmup`` commits are
+discarded, and the next ``measured`` commit latencies are the sample.
+
+Traffic points reproduce section V-C's setup: exactly one transaction is
+proposed and the byte counters are diffed around its consensus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.common.config import CommitteeConfig, EraConfig, GPBFTConfig
+from repro.common.errors import ConsensusError
+from repro.common.rng import DeterministicRNG
+from repro.core.deployment import GPBFTDeployment
+from repro.core.messages import TxOperation
+from repro.metrics.collector import SweepResult
+from repro.pbft.cluster import PBFTCluster
+from repro.pbft.messages import RawOperation
+
+#: Serialized size of the transaction payload used across experiments --
+#: matches a NormalTransaction (200 B) so PBFT and G-PBFT move the same op.
+TX_OP_BYTES = 200
+
+#: Hard ceiling on simulator events per repetition; a run that exceeds it
+#: is diverging (saturated queues) and its pending latencies are censored
+#: at the run horizon rather than waited for.
+MAX_EVENTS_PER_RUN = 40_000_000
+
+
+def _experiment_config(seed: int, max_endorsers: int) -> GPBFTConfig:
+    base = GPBFTConfig()
+    return base.replace(
+        network=replace(base.network, seed=seed),
+        committee=CommitteeConfig(min_endorsers=4, max_endorsers=max_endorsers),
+        # per-tx latency/traffic points measure steady-state consensus;
+        # era churn has its own experiments, so park the audit far away
+        era=EraConfig(period_s=1e12, switch_duration_s=base.era.switch_duration_s),
+    )
+
+
+
+def _arrival_times(total: int, mean_interval: float, seed: int) -> list[float]:
+    """Poisson arrival times at aggregate rate 1/mean_interval.
+
+    The paper's workload is n independent constant-frequency proposers
+    with arbitrary phases; by Palm-Khintchine their aggregate approaches
+    a Poisson stream, whose burstiness is what drives PBFT's queueing
+    delay at saturation (the ~250 s tail at n = 202).
+    """
+    rng = DeterministicRNG(seed, "arrivals")
+    times = []
+    t = 1.0
+    for _ in range(total):
+        t += rng.exponential(mean_interval)
+        times.append(t)
+    return times
+
+
+
+def _quorum_execution_latency(events, rid: str, submitted_at: float, f: int) -> float | None:
+    """Latency until the (f+1)-th replica wrote *rid* to its ledger.
+
+    The paper measures "the latency from the time when a transaction is
+    sent to an endorser to the time when the transaction is written to
+    the ledger after consensus" (section V-B); with f faulty replicas
+    tolerated, the write is durable once f+1 replicas executed it.
+    """
+    times = sorted(
+        e.at for e in events.of_kind("pbft.executed") if e.data["request_id"] == rid
+    )
+    if len(times) <= f:
+        return None
+    return times[f] - submitted_at
+
+
+def pbft_latency_point(
+    n: int,
+    seed: int,
+    proposal_period_s: float,
+    measured: int,
+    warmup: int,
+) -> list[float]:
+    """Measured commit latencies of one PBFT repetition at *n* replicas.
+
+    Transactions are submitted by rotating clients at the aggregate rate
+    n / proposal_period_s; returns the latencies of the ``measured``
+    commits after ``warmup``.
+    """
+    total = warmup + measured
+    config = _experiment_config(seed, max_endorsers=max(n, 4))
+    cluster = PBFTCluster(n_replicas=n, n_clients=min(n, total), config=config)
+    client_ids = sorted(cluster.clients)
+    interval = proposal_period_s / n
+    submissions: list[tuple[str, float]] = []  # (request id, submit time)
+    for k, at in enumerate(_arrival_times(total, interval, seed)):
+        client = cluster.clients[client_ids[k % len(client_ids)]]
+        op = RawOperation(op_id=f"tx-{seed}-{k}", size_bytes=TX_OP_BYTES)
+        submissions.append((f"{client.node_id}:{op.op_id}", at))
+        cluster.sim.schedule_at(at, client.submit, op)
+    horizon = 1.0 + total * interval + 100_000.0
+    cluster.sim.run_until_condition(
+        lambda: sum(len(c.completed) for c in cluster.clients.values()) >= total,
+        horizon=horizon,
+        max_events=MAX_EVENTS_PER_RUN,
+    )
+    f = (n - 1) // 3
+    sample = []
+    for rid, at in submissions[warmup:]:
+        latency = _quorum_execution_latency(cluster.events, rid, at, f)
+        if latency is not None:
+            sample.append(latency)
+    if not sample:
+        raise ConsensusError(f"no transactions committed at n={n} (horizon too short?)")
+    return sample
+
+
+def gpbft_latency_point(
+    n: int,
+    seed: int,
+    proposal_period_s: float,
+    measured: int,
+    warmup: int,
+    max_endorsers: int = 40,
+    era_switch_at_tx: int | None = None,
+) -> list[float]:
+    """Measured commit latencies of one G-PBFT repetition at *n* nodes.
+
+    The committee holds min(n, max_endorsers) endorsers; devices submit
+    through their nearest endorser.  When *era_switch_at_tx* is set, an
+    era switch is forced right before that (0-based) submission so its
+    latency shows the switch-period bump (the Fig. 3b outlier).
+    """
+    total = warmup + measured
+    config = _experiment_config(seed, max_endorsers=max_endorsers)
+    dep = GPBFTDeployment(
+        n_nodes=n,
+        n_endorsers=min(n, max_endorsers),
+        config=config,
+        seed=seed,
+        start_reports=False,
+    )
+    node_ids = sorted(dep.nodes)
+    interval = proposal_period_s / n
+    submissions: list[tuple[str, float]] = []
+    extra_ops = 0
+    for k, at in enumerate(_arrival_times(total, interval, seed)):
+        node = dep.nodes[node_ids[k % len(node_ids)]]
+        if era_switch_at_tx is not None and k == era_switch_at_tx:
+            dep.sim.schedule_at(max(0.0, at - 0.05), dep.force_era_switch)
+            extra_ops += 1  # the switch op itself also completes
+        tx = node.next_transaction(key=f"lat{k}", value=str(k))
+        submissions.append((f"{node.node_id}:{tx.tx_id}", at))
+        dep.sim.schedule_at(at, node.client.submit, TxOperation(tx))
+    horizon = 1.0 + total * interval + 100_000.0
+    expected = total + extra_ops
+    dep.sim.run_until_condition(
+        lambda: dep.events.count("request.completed") >= expected,
+        horizon=horizon,
+        max_events=MAX_EVENTS_PER_RUN,
+    )
+    f = (min(n, max_endorsers) - 1) // 3
+    sample = []
+    for rid, at in submissions[warmup:]:
+        latency = _quorum_execution_latency(dep.events, rid, at, f)
+        if latency is not None:
+            sample.append(latency)
+    if not sample:
+        raise ConsensusError(f"no transactions committed at n={n}")
+    return sample
+
+
+def pbft_traffic_point(n: int, seed: int = 0) -> float:
+    """KB moved by one transaction through PBFT with *n* replicas."""
+    config = _experiment_config(seed, max_endorsers=max(n, 4))
+    cluster = PBFTCluster(n_replicas=n, n_clients=1, config=config)
+    before = cluster.network.stats.snapshot()
+    cluster.submit(RawOperation(op_id=f"traffic-{seed}", size_bytes=TX_OP_BYTES))
+    cluster.sim.run_until_condition(
+        lambda: len(cluster.any_client.completed) >= 1,
+        horizon=100_000.0,
+        max_events=MAX_EVENTS_PER_RUN,
+    )
+    if not cluster.any_client.completed:
+        raise ConsensusError(f"traffic tx failed to commit at n={n}")
+    return cluster.network.stats.snapshot().delta(before).kilobytes_sent
+
+
+def gpbft_traffic_point(n: int, seed: int = 0, max_endorsers: int = 40) -> float:
+    """KB moved by one transaction through G-PBFT with *n* nodes.
+
+    Includes the full protocol surface the deployment exercises for that
+    transaction (request forwarding, consensus among the committee, and
+    replies to the device).
+    """
+    config = _experiment_config(seed, max_endorsers=max_endorsers)
+    dep = GPBFTDeployment(
+        n_nodes=n,
+        n_endorsers=min(n, max_endorsers),
+        config=config,
+        seed=seed,
+        start_reports=False,
+    )
+    submitter = dep.nodes[max(dep.nodes)]  # a device when devices exist
+    before = dep.network.stats.snapshot()
+    submitter.submit_transaction()
+    dep.sim.run_until_condition(
+        lambda: len(submitter.client.completed) >= 1,
+        horizon=100_000.0,
+        max_events=MAX_EVENTS_PER_RUN,
+    )
+    if not submitter.client.completed:
+        raise ConsensusError(f"traffic tx failed to commit at n={n}")
+    return dep.network.stats.snapshot().delta(before).kilobytes_sent
+
+
+def latency_sweep(
+    protocol: str,
+    node_counts,
+    reps: int,
+    proposal_period_s: float,
+    measured: int,
+    warmup: int,
+    max_endorsers: int = 40,
+) -> SweepResult:
+    """Full latency sweep for ``"pbft"`` or ``"gpbft"`` (Figures 3-4)."""
+    if protocol not in ("pbft", "gpbft"):
+        raise ConsensusError(f"unknown protocol {protocol!r}")
+    result = SweepResult(
+        name="PBFT" if protocol == "pbft" else "G-PBFT",
+        x_label="number of nodes",
+        y_label="consensus latency (s)",
+    )
+    for n in node_counts:
+        samples: list[float] = []
+        for rep in range(reps):
+            seed = 1000 * n + rep
+            if protocol == "pbft":
+                samples.extend(
+                    pbft_latency_point(n, seed, proposal_period_s, measured, warmup)
+                )
+            else:
+                samples.extend(
+                    gpbft_latency_point(
+                        n, seed, proposal_period_s, measured, warmup, max_endorsers
+                    )
+                )
+        result.add(n, samples)
+    return result
+
+
+def traffic_sweep(
+    protocol: str,
+    node_counts,
+    max_endorsers: int = 40,
+) -> SweepResult:
+    """Single-transaction traffic sweep (Figures 5-6)."""
+    if protocol not in ("pbft", "gpbft"):
+        raise ConsensusError(f"unknown protocol {protocol!r}")
+    result = SweepResult(
+        name="PBFT" if protocol == "pbft" else "G-PBFT",
+        x_label="number of nodes",
+        y_label="communication cost (KB)",
+    )
+    for n in node_counts:
+        if protocol == "pbft":
+            kb = pbft_traffic_point(n)
+        else:
+            kb = gpbft_traffic_point(n, max_endorsers=max_endorsers)
+        result.add(n, [kb])
+    return result

@@ -1,0 +1,44 @@
+"""Geographic substrate: coordinates, geohash, CSC, reports, verification.
+
+Everything location-related that G-PBFT consumes lives here:
+
+* :mod:`repro.geo.coords` -- validated latitude/longitude pairs, haversine
+  distance, and rectangular deployment regions;
+* :mod:`repro.geo.geohash` -- a complete base-32 geohash codec (encode,
+  decode, bounding boxes, neighbours);
+* :mod:`repro.geo.csc` -- Crypto-Spatial Coordinates: the hierarchical
+  (geohash, contract-address) pair from FOAM that the election table keys
+  on (paper section III-B3);
+* :mod:`repro.geo.reports` -- the ``<longitude, latitude, timestamp>``
+  report format devices upload periodically (section II-C);
+* :mod:`repro.geo.verification` -- neighbour-witness plausibility checks
+  that back the paper's Sybil-resistance argument (section IV-A1);
+* :mod:`repro.geo.index` -- a geohash-bucketed spatial index for
+  nearest-endorser routing and witness discovery.
+"""
+
+from repro.geo.coords import LatLng, Region, haversine_m, EARTH_RADIUS_M
+from repro.geo.geohash import geohash_encode, geohash_decode, geohash_bounds, geohash_neighbors
+from repro.geo.csc import CryptoSpatialCoordinate
+from repro.geo.reports import GeoReport, ReportHistory
+from repro.geo.verification import LocationAuditor, WitnessStatement, AuditVerdict
+from repro.geo.index import SpatialIndex, IndexedDirectory
+
+__all__ = [
+    "LatLng",
+    "Region",
+    "haversine_m",
+    "EARTH_RADIUS_M",
+    "geohash_encode",
+    "geohash_decode",
+    "geohash_bounds",
+    "geohash_neighbors",
+    "CryptoSpatialCoordinate",
+    "GeoReport",
+    "ReportHistory",
+    "LocationAuditor",
+    "WitnessStatement",
+    "AuditVerdict",
+    "SpatialIndex",
+    "IndexedDirectory",
+]

@@ -1,0 +1,47 @@
+"""Communication-cost helpers over the network's byte counters.
+
+The paper measures "communication cost ... for a single transaction"
+(section V-C): snapshot the counters, run one consensus instance,
+snapshot again, and report the delta in KB.
+"""
+
+from __future__ import annotations
+
+from repro.net.stats import TrafficSnapshot, TrafficStats
+
+
+def traffic_for_window(before: TrafficSnapshot, after: TrafficSnapshot) -> TrafficSnapshot:
+    """Counters accumulated between two snapshots."""
+    return after.delta(before)
+
+
+def per_kind_breakdown(snapshot: TrafficSnapshot) -> list[tuple[str, int, float]]:
+    """(kind, messages, KB) rows sorted by descending bytes."""
+    rows = [
+        (kind, snapshot.messages_by_kind.get(kind, 0), snapshot.bytes_by_kind[kind] / 1024.0)
+        for kind in snapshot.bytes_by_kind
+    ]
+    return sorted(rows, key=lambda r: -r[2])
+
+
+def protocol_only_kilobytes(snapshot: TrafficSnapshot, prefixes: tuple[str, ...] = ("pbft.",)) -> float:
+    """KB restricted to message kinds matching *prefixes* (e.g. exclude
+    periodic geo reports when isolating per-transaction consensus cost)."""
+    total = 0
+    for kind, size in snapshot.bytes_by_kind.items():
+        if kind.startswith(prefixes):
+            total += size
+    return total / 1024.0
+
+
+def measure_single_tx_cost(stats: TrafficStats, run_tx) -> TrafficSnapshot:
+    """Run ``run_tx()`` between two snapshots and return the delta.
+
+    Args:
+        stats: the network's live counters.
+        run_tx: callable that submits one transaction and advances the
+            simulation until it commits.
+    """
+    before = stats.snapshot()
+    run_tx()
+    return stats.snapshot().delta(before)

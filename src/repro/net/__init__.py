@@ -1,0 +1,52 @@
+"""Discrete-event network simulation substrate.
+
+The paper evaluated G-PBFT on a cluster of real servers; this package is
+the substitution documented in DESIGN.md: a deterministic discrete-event
+simulator whose node model matches the paper's own analytical model
+(section IV-B) -- each node receives and processes *s* messages per
+second, serially.  Consensus latency therefore scales as O(n/s) per PBFT
+phase, and traffic is accounted byte-by-byte per message, which is what
+Figures 3-6 and Table III measure.
+
+Modules:
+
+* :mod:`repro.net.simulator` -- the event loop (priority queue of timed
+  callbacks, cancellable handles);
+* :mod:`repro.net.message` -- size-accounted message envelopes;
+* :mod:`repro.net.latency` -- pluggable propagation-delay models;
+* :mod:`repro.net.network` -- the network itself: interfaces, unicast,
+  multicast, drops, partitions, serial receive-queues;
+* :mod:`repro.net.stats` -- per-node / per-kind traffic accounting;
+* :mod:`repro.net.tracer` -- message-flow capture and sequence diagrams.
+"""
+
+from repro.net.simulator import Simulator, ScheduledEvent
+from repro.net.message import Envelope, Payload
+from repro.net.latency import (
+    LatencyModel,
+    ConstantLatency,
+    UniformLatency,
+    LognormalLatency,
+    DistanceLatency,
+)
+from repro.net.network import SimulatedNetwork, NodeInterface
+from repro.net.stats import TrafficStats, TrafficSnapshot
+from repro.net.tracer import MessageTracer, TraceRow
+
+__all__ = [
+    "Simulator",
+    "ScheduledEvent",
+    "Envelope",
+    "Payload",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LognormalLatency",
+    "DistanceLatency",
+    "SimulatedNetwork",
+    "NodeInterface",
+    "TrafficStats",
+    "TrafficSnapshot",
+    "MessageTracer",
+    "TraceRow",
+]

@@ -1,0 +1,112 @@
+"""Pluggable propagation-delay models.
+
+The experiment harness defaults to :class:`UniformLatency` (small LAN
+delay with jitter, matching the paper's single-site cluster).  The
+latency-model ablation bench swaps in the others to show that the
+PBFT/G-PBFT gap is robust to the propagation model -- the gap comes from
+message *processing*, not propagation.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from repro.common.errors import NetworkError
+from repro.common.rng import DeterministicRNG
+from repro.geo.coords import LatLng, haversine_m
+
+#: Speed of light in fibre, m/s (propagation floor for DistanceLatency).
+FIBRE_SPEED_M_S = 2.0e8
+
+
+class LatencyModel(abc.ABC):
+    """Computes one-way propagation delay for a message."""
+
+    @abc.abstractmethod
+    def sample(self, src: int, dst: int, rng: DeterministicRNG) -> float:
+        """Delay in seconds for a message from *src* to *dst*."""
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly *delay_s* seconds."""
+
+    def __init__(self, delay_s: float) -> None:
+        if delay_s < 0:
+            raise NetworkError("delay must be >= 0")
+        self.delay_s = delay_s
+
+    def sample(self, src: int, dst: int, rng: DeterministicRNG) -> float:
+        """Draw one propagation delay for (src, dst)."""
+        return self.delay_s
+
+
+class UniformLatency(LatencyModel):
+    """Base delay plus uniform jitter in [0, jitter_s] -- the default."""
+
+    def __init__(self, base_s: float, jitter_s: float) -> None:
+        if base_s < 0 or jitter_s < 0:
+            raise NetworkError("latency parameters must be >= 0")
+        self.base_s = base_s
+        self.jitter_s = jitter_s
+
+    def sample(self, src: int, dst: int, rng: DeterministicRNG) -> float:
+        """Draw one propagation delay for (src, dst)."""
+        if self.jitter_s == 0:
+            return self.base_s
+        return self.base_s + rng.uniform(0.0, self.jitter_s)
+
+
+class LognormalLatency(LatencyModel):
+    """Heavy-tailed delay: ``exp(N(mu, sigma))`` scaled to *median_s*.
+
+    Models WAN-ish conditions where a minority of messages straggle.
+    """
+
+    def __init__(self, median_s: float, sigma: float = 0.5) -> None:
+        if median_s <= 0:
+            raise NetworkError("median must be positive")
+        if sigma < 0:
+            raise NetworkError("sigma must be >= 0")
+        self.median_s = median_s
+        self.sigma = sigma
+        self._mu = math.log(median_s)
+
+    def sample(self, src: int, dst: int, rng: DeterministicRNG) -> float:
+        """Draw one propagation delay for (src, dst)."""
+        return rng.lognormal(self._mu, self.sigma)
+
+
+class DistanceLatency(LatencyModel):
+    """Propagation proportional to great-circle distance between nodes.
+
+    Args:
+        positions: node id -> physical location.
+        per_hop_s: fixed per-message forwarding cost added on top.
+        speed_m_s: signal speed (fibre by default).
+        default_s: delay used for nodes with unknown positions.
+    """
+
+    def __init__(
+        self,
+        positions: dict[int, LatLng],
+        per_hop_s: float = 0.001,
+        speed_m_s: float = FIBRE_SPEED_M_S,
+        default_s: float = 0.010,
+    ) -> None:
+        if per_hop_s < 0 or default_s < 0:
+            raise NetworkError("latency parameters must be >= 0")
+        if speed_m_s <= 0:
+            raise NetworkError("speed must be positive")
+        self.positions = dict(positions)
+        self.per_hop_s = per_hop_s
+        self.speed_m_s = speed_m_s
+        self.default_s = default_s
+
+    def sample(self, src: int, dst: int, rng: DeterministicRNG) -> float:
+        """Draw one propagation delay for (src, dst)."""
+        a = self.positions.get(src)
+        b = self.positions.get(dst)
+        if a is None or b is None:
+            return self.default_s + self.per_hop_s
+        return self.per_hop_s + haversine_m(a, b) / self.speed_m_s

@@ -1,0 +1,89 @@
+"""Size-accounted message envelopes.
+
+Every protocol message travels inside an :class:`Envelope` that knows its
+serialized size, so the communication-cost experiments (Figures 5-6,
+Table III) can charge bytes without actually serializing anything on the
+hot path.  Payload classes implement the :class:`Payload` protocol by
+exposing ``size_bytes`` and a ``kind`` string.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+from repro.common.errors import NetworkError
+
+_envelope_ids = itertools.count()
+
+
+@runtime_checkable
+class Payload(Protocol):
+    """Anything that can ride inside an envelope."""
+
+    @property
+    def kind(self) -> str:
+        """Machine-readable message kind, e.g. ``"pbft.prepare"``."""
+        ...
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized payload size in bytes (excludes envelope framing)."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    """One message in flight.
+
+    Attributes:
+        src: sender node id.
+        dst: destination node id.
+        payload: the protocol message.
+        overhead_bytes: framing + signature bytes charged by the network.
+        sent_at: simulated send time, stamped by the network.
+        envelope_id: unique id for tracing/debugging.
+    """
+
+    src: int
+    dst: int
+    payload: Payload
+    overhead_bytes: int = 0
+    sent_at: float = 0.0
+    envelope_id: int = field(default_factory=lambda: next(_envelope_ids))
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise NetworkError(f"invalid endpoints src={self.src} dst={self.dst}")
+        if self.overhead_bytes < 0:
+            raise NetworkError("overhead_bytes must be >= 0")
+
+    @property
+    def kind(self) -> str:
+        """The payload's message kind."""
+        return self.payload.kind
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-wire size: payload plus framing overhead."""
+        return self.payload.size_bytes + self.overhead_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class RawPayload:
+    """A simple labelled payload for tests and generic traffic.
+
+    Attributes:
+        kind: message kind label.
+        size_bytes: claimed serialized size.
+        body: optional opaque content.
+    """
+
+    kind: str
+    size_bytes: int
+    body: Any = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise NetworkError("size_bytes must be >= 0")

@@ -1,0 +1,207 @@
+"""The simulated message-passing network.
+
+Model
+-----
+A message from ``src`` to ``dst`` experiences:
+
+1. **propagation delay** drawn from the latency model, then
+2. **serial processing** at the destination: each node is a single-server
+   queue that processes one message every ``1 / processing_rate``
+   seconds, in arrival order.
+
+(2) is what makes PBFT latency grow with committee size.  With the
+paper's model of a node that "can receive and process *s* messages per
+second" (section IV-B), collecting a quorum of ~2n/3 messages takes
+~2n/(3s) seconds per phase -- the O(n/s) consensus-latency bound the
+evaluation confirms.  Propagation alone would never reproduce that.
+
+The network also supports iid message drops and group partitions, used by
+fault-injection tests and the view-change machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.config import NetworkConfig
+from repro.common.errors import NetworkError
+from repro.common.rng import DeterministicRNG
+from repro.net.latency import LatencyModel, UniformLatency
+from repro.net.message import Envelope, Payload
+from repro.net.simulator import Simulator
+from repro.net.stats import TrafficStats
+
+#: Type of the callback a node registers to receive processed messages.
+Handler = Callable[[Envelope], None]
+
+
+class NodeInterface:
+    """A node's handle onto the network (returned by ``register``)."""
+
+    __slots__ = ("_network", "node_id")
+
+    def __init__(self, network: "SimulatedNetwork", node_id: int) -> None:
+        self._network = network
+        self.node_id = node_id
+
+    def send(self, dst: int, payload: Payload) -> None:
+        """Unicast *payload* to *dst*."""
+        self._network.send(self.node_id, dst, payload)
+
+    def multicast(self, dsts, payload: Payload) -> None:
+        """Send *payload* to every id in *dsts* (skipping self)."""
+        self._network.multicast(self.node_id, dsts, payload)
+
+
+class SimulatedNetwork:
+    """Deterministic network over a :class:`Simulator`.
+
+    Args:
+        sim: the event loop to schedule deliveries on.
+        config: rates, overheads, drop probability.
+        latency: propagation model; defaults to uniform jitter from config.
+        rng: random stream for jitter and drops; forked from config.seed
+            when omitted.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: NetworkConfig | None = None,
+        latency: LatencyModel | None = None,
+        rng: DeterministicRNG | None = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self.latency = latency or UniformLatency(
+            self.config.base_latency_s, self.config.latency_jitter_s
+        )
+        self.rng = rng or DeterministicRNG(self.config.seed, "network")
+        self.stats = TrafficStats()
+        self._handlers: dict[int, Handler] = {}
+        self._busy_until: dict[int, float] = {}
+        # sender-side NIC serialization (only when bandwidth modelling on)
+        self._tx_busy_until: dict[int, float] = {}
+        self._offline: set[int] = set()
+        self._partition: dict[int, int] = {}
+        self._processing_interval = 1.0 / self.config.processing_rate
+
+    # -- membership -------------------------------------------------------
+
+    def register(self, node_id: int, handler: Handler) -> NodeInterface:
+        """Attach *handler* as the receive callback of *node_id*.
+
+        Raises:
+            NetworkError: if the id is already registered.
+        """
+        if node_id in self._handlers:
+            raise NetworkError(f"node {node_id} already registered")
+        self._handlers[node_id] = handler
+        self._busy_until[node_id] = 0.0
+        return NodeInterface(self, node_id)
+
+    def unregister(self, node_id: int) -> None:
+        """Detach a node; in-flight messages to it are dropped on arrival."""
+        self._handlers.pop(node_id, None)
+        self._busy_until.pop(node_id, None)
+        self._offline.discard(node_id)
+        self._partition.pop(node_id, None)
+
+    def is_registered(self, node_id: int) -> bool:
+        """True iff *node_id* currently has a handler attached."""
+        return node_id in self._handlers
+
+    @property
+    def node_ids(self) -> list[int]:
+        """Sorted ids of all registered nodes."""
+        return sorted(self._handlers)
+
+    # -- fault injection ----------------------------------------------------
+
+    def set_offline(self, node_id: int, offline: bool = True) -> None:
+        """Silently discard all traffic to/from *node_id* while offline."""
+        if offline:
+            self._offline.add(node_id)
+        else:
+            self._offline.discard(node_id)
+
+    def set_partition(self, groups: dict[int, int] | None) -> None:
+        """Partition nodes into groups; traffic only flows within a group.
+
+        Args:
+            groups: node id -> group label.  Unlisted nodes form the
+                implicit group ``-1``.  ``None`` heals the partition.
+        """
+        self._partition = dict(groups) if groups else {}
+
+    def _group(self, node_id: int) -> int:
+        return self._partition.get(node_id, -1)
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, src: int, dst: int, payload: Payload) -> None:
+        """Unicast *payload*; accounting happens even if later dropped,
+        because the bytes left the sender either way."""
+        if src not in self._handlers:
+            raise NetworkError(f"unknown sender {src}")
+        envelope = Envelope(
+            src=src,
+            dst=dst,
+            payload=payload,
+            overhead_bytes=self.config.envelope_overhead_bytes,
+            sent_at=self.sim.now,
+        )
+        self.stats.on_send(src, envelope.kind, envelope.size_bytes)
+
+        if src in self._offline or dst in self._offline:
+            self.stats.on_drop(envelope.kind)
+            return
+        if self._partition and self._group(src) != self._group(dst):
+            self.stats.on_drop(envelope.kind)
+            return
+        if self.config.drop_probability > 0 and self.rng.random() < self.config.drop_probability:
+            self.stats.on_drop(envelope.kind)
+            return
+
+        delay = self.latency.sample(src, dst, self.rng)
+        if self.config.bandwidth_bps > 0:
+            # serialize through the sender's NIC before propagation: a
+            # multicast of k messages leaves the sender one after another
+            tx_time = envelope.size_bytes * 8.0 / self.config.bandwidth_bps
+            tx_start = max(self.sim.now, self._tx_busy_until.get(src, 0.0))
+            tx_done = tx_start + tx_time
+            self._tx_busy_until[src] = tx_done
+            delay += tx_done - self.sim.now
+        self.sim.schedule(delay, self._arrive, envelope)
+
+    def multicast(self, src: int, dsts, payload: Payload) -> None:
+        """Send *payload* to every destination in *dsts* except *src*."""
+        for dst in dsts:
+            if dst != src:
+                self.send(src, dst, payload)
+
+    # -- delivery -------------------------------------------------------------
+
+    def _arrive(self, envelope: Envelope) -> None:
+        """Message reached the destination NIC; enqueue for processing."""
+        dst = envelope.dst
+        if dst not in self._handlers or dst in self._offline:
+            self.stats.on_drop(envelope.kind)
+            return
+        start = max(self.sim.now, self._busy_until.get(dst, 0.0))
+        done = start + self._processing_interval
+        self._busy_until[dst] = done
+        self.sim.schedule_at(done, self._process, envelope)
+
+    def _process(self, envelope: Envelope) -> None:
+        """Processing slot finished; hand the message to the node."""
+        handler = self._handlers.get(envelope.dst)
+        if handler is None or envelope.dst in self._offline:
+            self.stats.on_drop(envelope.kind)
+            return
+        self.stats.on_deliver(envelope.dst, envelope.kind, envelope.size_bytes)
+        handler(envelope)
+
+    def queue_depth_s(self, node_id: int) -> float:
+        """Seconds of processing backlog currently queued at *node_id*."""
+        return max(0.0, self._busy_until.get(node_id, 0.0) - self.sim.now)

@@ -1,0 +1,107 @@
+"""Traffic accounting: per-node and per-kind byte/message counters.
+
+Figures 5-6 and Table III of the paper report communication cost in KB
+for a single transaction; :class:`TrafficStats` is the ground truth those
+experiments read.  Counters can be snapshotted and diffed so a harness
+can measure exactly one consensus instance inside a longer run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficSnapshot:
+    """Immutable copy of the counters at one instant."""
+
+    messages_sent: int
+    messages_delivered: int
+    messages_dropped: int
+    bytes_sent: int
+    bytes_delivered: int
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    messages_by_kind: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def kilobytes_sent(self) -> float:
+        """Total sent traffic in KB (the unit of Figures 5-6)."""
+        return self.bytes_sent / 1024.0
+
+    def delta(self, earlier: "TrafficSnapshot") -> "TrafficSnapshot":
+        """Counters accumulated since *earlier* (self - earlier)."""
+        kinds = set(self.bytes_by_kind) | set(earlier.bytes_by_kind)
+        return TrafficSnapshot(
+            messages_sent=self.messages_sent - earlier.messages_sent,
+            messages_delivered=self.messages_delivered - earlier.messages_delivered,
+            messages_dropped=self.messages_dropped - earlier.messages_dropped,
+            bytes_sent=self.bytes_sent - earlier.bytes_sent,
+            bytes_delivered=self.bytes_delivered - earlier.bytes_delivered,
+            bytes_by_kind={
+                k: self.bytes_by_kind.get(k, 0) - earlier.bytes_by_kind.get(k, 0)
+                for k in sorted(kinds)
+            },
+            messages_by_kind={
+                k: self.messages_by_kind.get(k, 0) - earlier.messages_by_kind.get(k, 0)
+                for k in sorted(kinds)
+            },
+        )
+
+
+class TrafficStats:
+    """Mutable traffic counters updated by the simulated network."""
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
+        self.bytes_by_kind: dict[str, int] = defaultdict(int)
+        self.messages_by_kind: dict[str, int] = defaultdict(int)
+        self.bytes_sent_by_node: dict[int, int] = defaultdict(int)
+        self.bytes_received_by_node: dict[int, int] = defaultdict(int)
+        self.messages_sent_by_node: dict[int, int] = defaultdict(int)
+        self.messages_received_by_node: dict[int, int] = defaultdict(int)
+
+    def on_send(self, src: int, kind: str, size_bytes: int) -> None:
+        """Record a message leaving *src*."""
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        self.bytes_by_kind[kind] += size_bytes
+        self.messages_by_kind[kind] += 1
+        self.bytes_sent_by_node[src] += size_bytes
+        self.messages_sent_by_node[src] += 1
+
+    def on_deliver(self, dst: int, kind: str, size_bytes: int) -> None:
+        """Record a message fully processed at *dst*."""
+        self.messages_delivered += 1
+        self.bytes_delivered += size_bytes
+        self.bytes_received_by_node[dst] += size_bytes
+        self.messages_received_by_node[dst] += 1
+
+    def on_drop(self, kind: str) -> None:
+        """Record a lost message."""
+        self.messages_dropped += 1
+
+    @property
+    def kilobytes_sent(self) -> float:
+        """Total sent traffic in KB."""
+        return self.bytes_sent / 1024.0
+
+    def snapshot(self) -> TrafficSnapshot:
+        """Immutable copy of the current counters."""
+        return TrafficSnapshot(
+            messages_sent=self.messages_sent,
+            messages_delivered=self.messages_delivered,
+            messages_dropped=self.messages_dropped,
+            bytes_sent=self.bytes_sent,
+            bytes_delivered=self.bytes_delivered,
+            bytes_by_kind=dict(self.bytes_by_kind),
+            messages_by_kind=dict(self.messages_by_kind),
+        )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.__init__()

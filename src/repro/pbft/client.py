@@ -1,0 +1,163 @@
+"""PBFT clients: submit operations, collect f+1 matching replies.
+
+A client sends its request to the primary it currently believes in; if
+no quorum of replies arrives within the retry timeout it retransmits to
+*all* replicas (which makes backups forward to the primary and start
+view-change timers -- the liveness path of the protocol).
+
+The client emits ``request.submitted`` / ``request.completed`` events;
+consensus latency in the experiments is exactly the difference of those
+two timestamps, matching the paper's definition: "the latency from the
+time when a transaction is sent ... to the time when the transaction is
+written to the ledger after consensus" (section V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.config import PBFTConfig
+from repro.common.errors import ConsensusError
+from repro.common.eventlog import EventLog
+from repro.net.simulator import ScheduledEvent, Simulator
+from repro.pbft.messages import ClientRequest, Operation, Reply
+
+SendFn = Callable[[int, object], None]
+
+
+@dataclass
+class _PendingRequest:
+    request: ClientRequest
+    replies: dict[bytes, set[int]] = field(default_factory=dict)
+    timer: ScheduledEvent | None = None
+    completed: bool = False
+    broadcasted: bool = False
+
+
+class PBFTClient:
+    """A client of the replicated service.
+
+    Args:
+        node_id: the client's network id (not a committee member).
+        committee: current replica ids, in rotation order.
+        sim: simulator for retry timers.
+        send: transport callback.
+        config: supplies the retry timeout.
+        event_log: latency event sink.
+        on_complete: optional callback ``(request_id, latency_s)`` fired
+            when a request reaches its f+1 reply quorum.
+        route_fn: where to send a *new* request; defaults to the believed
+            primary.  G-PBFT devices route to their nearest endorser
+            instead (paper: "clients ... send it to nearby endorsers").
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        committee: tuple[int, ...] | list[int],
+        sim: Simulator,
+        send: SendFn,
+        config: PBFTConfig | None = None,
+        event_log: EventLog | None = None,
+        on_complete: Callable[[str, float], None] | None = None,
+        route_fn: Callable[[], int] | None = None,
+    ) -> None:
+        if not committee:
+            raise ConsensusError("client needs a non-empty committee")
+        self.node_id = node_id
+        self.committee = tuple(committee)
+        self.sim = sim
+        self._send = send
+        self.config = config or PBFTConfig()
+        self.events = event_log
+        self._on_complete = on_complete
+        self._route_fn = route_fn
+        self.f = (len(self.committee) - 1) // 3
+        self.view_hint = 0
+        self._pending: dict[str, _PendingRequest] = {}
+        self._submit_times: dict[str, float] = {}
+        self.completed: dict[str, float] = {}  # request_id -> latency seconds
+
+    @property
+    def believed_primary(self) -> int:
+        """The replica this client currently sends new requests to."""
+        return self.committee[self.view_hint % len(self.committee)]
+
+    def submit(self, op: Operation) -> str:
+        """Submit *op* for ordering; returns the request id."""
+        request = ClientRequest(client=self.node_id, timestamp=self.sim.now, op=op)
+        rid = request.request_id
+        if rid in self._pending or rid in self.completed:
+            return rid
+        entry = _PendingRequest(request=request)
+        self._pending[rid] = entry
+        self._submit_times[rid] = self.sim.now
+        if self.events is not None:
+            self.events.record(self.sim.now, "request.submitted", node=self.node_id, request_id=rid)
+        first_hop = self._route_fn() if self._route_fn is not None else self.believed_primary
+        self._send(first_hop, request)
+        entry.timer = self.sim.schedule(self.config.request_retry_timeout_s, self._retry, rid)
+        return rid
+
+    def receive(self, payload) -> None:
+        """Entry point for replies from replicas."""
+        if getattr(payload, "kind", None) == "pbft.reply":
+            self.on_reply(payload)
+
+    def on_reply(self, reply: Reply) -> None:
+        """Count matching result digests; f+1 completes the request."""
+        entry = self._pending.get(reply.request_id)
+        if entry is None or entry.completed:
+            return
+        if reply.sender not in self.committee:
+            return
+        self.view_hint = max(self.view_hint, reply.view)
+        senders = entry.replies.setdefault(reply.result_digest, set())
+        senders.add(reply.sender)
+        if len(senders) >= self.f + 1:
+            entry.completed = True
+            if entry.timer is not None:
+                entry.timer.cancel()
+            rid = reply.request_id
+            latency = self.sim.now - self._submit_times[rid]
+            self.completed[rid] = latency
+            del self._pending[rid]
+            if self.events is not None:
+                self.events.record(
+                    self.sim.now,
+                    "request.completed",
+                    node=self.node_id,
+                    request_id=rid,
+                    latency=latency,
+                )
+            if self._on_complete is not None:
+                self._on_complete(rid, latency)
+
+    def _retry(self, rid: str) -> None:
+        entry = self._pending.get(rid)
+        if entry is None or entry.completed:
+            return
+        # broadcast so backups forward to the primary and arm timers
+        entry.broadcasted = True
+        for replica in self.committee:
+            self._send(replica, entry.request)
+        entry.timer = self.sim.schedule(self.config.request_retry_timeout_s, self._retry, rid)
+
+    @property
+    def outstanding(self) -> int:
+        """Requests submitted but not yet completed."""
+        return len(self._pending)
+
+    def update_committee(self, committee: tuple[int, ...] | list[int]) -> None:
+        """Adopt a new replica set after an era switch.
+
+        Reply quorums already gathered keep counting (senders from the
+        old committee that survived into the new one remain valid);
+        ``f`` and the believed primary are recomputed for the new size.
+        """
+        if not committee:
+            raise ConsensusError("committee must be non-empty")
+        self.committee = tuple(committee)
+        self.f = (len(self.committee) - 1) // 3
+        self.view_hint = 0

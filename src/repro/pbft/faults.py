@@ -1,0 +1,95 @@
+"""Fault models: pluggable byzantine/crash behaviour for replicas.
+
+Fault-injection tests and the adversary-tolerance experiments attach one
+of these to a replica.  The replica consults its fault model at each
+decision point; :class:`HonestFaults` (the default) never interferes, so
+the honest path pays one virtual call and no branching complexity.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConsensusError
+from repro.crypto.hashing import sha256
+
+
+class FaultModel:
+    """Base class: fully honest behaviour."""
+
+    #: True while the node ignores all input (crash fault).
+    crashed: bool = False
+
+    def drop_incoming(self, kind: str) -> bool:
+        """Return True to silently ignore an incoming message."""
+        return self.crashed
+
+    def suppress_send(self, kind: str) -> bool:
+        """Return True to withhold an outgoing message."""
+        return self.crashed
+
+    def mutate_digest(self, digest: bytes, dst: int) -> bytes:
+        """Optionally corrupt a digest on a per-destination basis."""
+        return digest
+
+
+class HonestFaults(FaultModel):
+    """Explicit alias for the no-fault behaviour."""
+
+
+class CrashFaults(FaultModel):
+    """Node that stops participating after :meth:`crash` is called."""
+
+    def __init__(self, crashed: bool = False) -> None:
+        self.crashed = crashed
+
+    def crash(self) -> None:
+        """Stop reacting to anything from now on."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        """Resume normal operation (amnesia-free recovery)."""
+        self.crashed = False
+
+
+class EquivocatingFaults(FaultModel):
+    """Byzantine primary that sends conflicting digests to half its peers.
+
+    Destinations with even node ids receive the true digest; odd ids get
+    a corrupted one.  With f such faults and n >= 3f+1 the protocol must
+    still never commit two different requests at one sequence -- the
+    safety property the byzantine tests check.
+    """
+
+    def mutate_digest(self, digest: bytes, dst: int) -> bytes:
+        """Corrupt digests bound for odd-numbered peers."""
+        if dst % 2 == 1:
+            return sha256(b"equivocation:" + digest)
+        return digest
+
+
+class MuteFaults(FaultModel):
+    """Node that receives but never sends (tests liveness accounting)."""
+
+    def suppress_send(self, kind: str) -> bool:
+        """Withhold matching outgoing messages."""
+        return True
+
+
+class SelectiveDropFaults(FaultModel):
+    """Drops specific message kinds in both directions.
+
+    Args:
+        kinds: message kinds (e.g. ``{"pbft.commit"}``) to drop.
+    """
+
+    def __init__(self, kinds: set[str]) -> None:
+        if not kinds:
+            raise ConsensusError("SelectiveDropFaults needs at least one kind")
+        self.kinds = set(kinds)
+
+    def drop_incoming(self, kind: str) -> bool:
+        """Ignore matching incoming messages."""
+        return kind in self.kinds
+
+    def suppress_send(self, kind: str) -> bool:
+        """Withhold matching outgoing messages."""
+        return kind in self.kinds

@@ -1,0 +1,164 @@
+"""Per-replica message log and quorum certificates.
+
+The log tracks, for every (view, sequence) consensus instance, the
+pre-prepare and the sets of distinct replicas that sent matching prepare
+and commit messages, and answers the two classic predicates:
+
+* ``prepared(v, n)``  -- pre-prepare present plus **2f** prepares from
+  distinct replicas (the pre-prepare counts as the primary's prepare);
+* ``committed_local(v, n)`` -- prepared plus **2f+1** matching commits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConsensusError
+from repro.pbft.messages import ClientRequest, Commit, Prepare, PrePrepare
+
+
+@dataclass
+class InstanceState:
+    """Everything known about one (view, seq) consensus instance."""
+
+    view: int
+    seq: int
+    digest: bytes | None = None
+    request: ClientRequest | None = None
+    pre_prepare: PrePrepare | None = None
+    prepares: set[int] = field(default_factory=set)
+    commits: set[int] = field(default_factory=set)
+    prepare_sent: bool = False
+    commit_sent: bool = False
+    executed: bool = False
+
+    def matches(self, digest: bytes) -> bool:
+        """True iff *digest* agrees with the accepted pre-prepare."""
+        return self.digest is None or self.digest == digest
+
+
+class MessageLog:
+    """Quorum bookkeeping for one replica.
+
+    Args:
+        n: committee size.
+        replica_id: owner's node id (its own prepares/commits count).
+    """
+
+    def __init__(self, n: int, replica_id: int) -> None:
+        if n < 4:
+            raise ConsensusError(f"PBFT needs n >= 4 replicas, got {n}")
+        self.n = n
+        self.f = (n - 1) // 3
+        self.replica_id = replica_id
+        self._instances: dict[tuple[int, int], InstanceState] = {}
+        # digests seen per (view, seq) to detect primary equivocation
+        self._conflicts: list[tuple[int, int, bytes, bytes]] = []
+
+    def instance(self, view: int, seq: int) -> InstanceState:
+        """Get-or-create the instance record for (view, seq)."""
+        key = (view, seq)
+        state = self._instances.get(key)
+        if state is None:
+            state = InstanceState(view=view, seq=seq)
+            self._instances[key] = state
+        return state
+
+    def instances(self) -> list[InstanceState]:
+        """All tracked instances (unordered)."""
+        return list(self._instances.values())
+
+    @property
+    def conflicts(self) -> list[tuple[int, int, bytes, bytes]]:
+        """Observed equivocations: (view, seq, accepted, conflicting)."""
+        return list(self._conflicts)
+
+    # -- message admission ----------------------------------------------------
+
+    def add_pre_prepare(self, msg: PrePrepare) -> bool:
+        """Accept a pre-prepare; returns False on conflict or duplicate.
+
+        A conflicting digest for an already-accepted (view, seq) is
+        recorded as equivocation evidence and rejected.
+        """
+        state = self.instance(msg.view, msg.seq)
+        if state.pre_prepare is not None:
+            if state.digest != msg.digest:
+                self._conflicts.append((msg.view, msg.seq, state.digest, msg.digest))
+            return False
+        if state.digest is not None and state.digest != msg.digest:
+            # prepares arrived first with a different digest
+            self._conflicts.append((msg.view, msg.seq, state.digest, msg.digest))
+            return False
+        state.pre_prepare = msg
+        state.digest = msg.digest
+        state.request = msg.request
+        # the primary's pre-prepare doubles as its prepare
+        state.prepares.add(msg.sender)
+        return True
+
+    def add_prepare(self, msg: Prepare) -> bool:
+        """Accept a prepare; returns False on digest mismatch/duplicate."""
+        state = self.instance(msg.view, msg.seq)
+        if not state.matches(msg.digest):
+            return False
+        if state.digest is None:
+            state.digest = msg.digest
+        if msg.sender in state.prepares:
+            return False
+        state.prepares.add(msg.sender)
+        return True
+
+    def add_commit(self, msg: Commit) -> bool:
+        """Accept a commit; returns False on digest mismatch/duplicate."""
+        state = self.instance(msg.view, msg.seq)
+        if not state.matches(msg.digest):
+            return False
+        if state.digest is None:
+            state.digest = msg.digest
+        if msg.sender in state.commits:
+            return False
+        state.commits.add(msg.sender)
+        return True
+
+    # -- predicates -------------------------------------------------------------
+
+    def prepared(self, view: int, seq: int) -> bool:
+        """Castro-Liskov *prepared*: pre-prepare + 2f distinct prepares."""
+        state = self._instances.get((view, seq))
+        if state is None or state.pre_prepare is None:
+            return False
+        return len(state.prepares) >= 2 * self.f + 1  # incl. primary's
+
+    def committed_local(self, view: int, seq: int) -> bool:
+        """*committed-local*: prepared plus 2f+1 matching commits."""
+        if not self.prepared(view, seq):
+            return False
+        state = self._instances[(view, seq)]
+        return len(state.commits) >= 2 * self.f + 1
+
+    # -- view change support -------------------------------------------------
+
+    def prepared_instances(self, min_seq: int) -> list[InstanceState]:
+        """Prepared-but-possibly-unexecuted instances above *min_seq*,
+        ordered by sequence (the P set of a view-change message)."""
+        out = [
+            s
+            for (v, n), s in self._instances.items()
+            if n > min_seq and self.prepared(v, n)
+        ]
+        # keep only the highest view per seq (a request re-prepared in a
+        # later view supersedes the earlier certificate)
+        best: dict[int, InstanceState] = {}
+        for s in out:
+            cur = best.get(s.seq)
+            if cur is None or s.view > cur.view:
+                best[s.seq] = s
+        return [best[k] for k in sorted(best)]
+
+    def garbage_collect(self, stable_seq: int) -> int:
+        """Drop instances at or below the stable checkpoint *stable_seq*."""
+        victims = [key for key in self._instances if key[1] <= stable_seq]
+        for key in victims:
+            del self._instances[key]
+        return len(victims)

@@ -1,0 +1,665 @@
+"""The PBFT replica state machine.
+
+Implements the normal-case three-phase protocol, checkpointing with
+watermarks, and view changes, following Castro & Liskov (OSDI'99):
+
+* the primary of view *v* is ``committee[v mod n]``;
+* a backup accepts a pre-prepare if it is in the same view, signed by the
+  primary, inside the watermark window, and no conflicting digest was
+  accepted for that (view, seq);
+* *prepared* needs the pre-prepare plus 2f matching prepares;
+  *committed-local* needs 2f+1 matching commits;
+* execution is strictly in sequence order, replies go back to clients;
+* every ``checkpoint_interval`` executions replicas exchange checkpoint
+  digests; 2f+1 matching digests advance the stable watermark and
+  garbage-collect the log;
+* a backup that times out on a pending request broadcasts a view change;
+  the new primary assembles 2f+1 view-change votes into a new-view with
+  re-issued pre-prepares.
+
+The replica is transport-agnostic: it talks through ``send(dst, payload)``
+and a simulator for timers, so the same engine runs under the baseline
+PBFT deployment and inside every G-PBFT era.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.config import PBFTConfig
+from repro.common.errors import ConsensusError
+from repro.common.eventlog import EventLog
+from repro.common.ids import primary_for_view
+from repro.crypto.hashing import sha256
+from repro.net.simulator import ScheduledEvent, Simulator
+from repro.pbft.faults import FaultModel, HonestFaults
+from repro.pbft.log import MessageLog
+from repro.pbft.messages import (
+    Checkpoint,
+    ClientRequest,
+    Commit,
+    NewView,
+    Prepare,
+    PreparedProof,
+    PrePrepare,
+    RawOperation,
+    Reply,
+    ViewChange,
+)
+
+#: Signature of the executor callback: (operation, seq, view) -> result digest.
+Executor = Callable[[object, int, int], bytes]
+
+#: Signature of the transport send callback.
+SendFn = Callable[[int, object], None]
+
+
+class PBFTReplica:
+    """One replica of the PBFT service.
+
+    Args:
+        node_id: this replica's id (must appear in *committee*).
+        committee: ordered replica ids; order fixes primary rotation.
+        sim: simulator used for view-change timers.
+        send: transport callback ``send(dst, payload)``.
+        config: protocol timeouts and checkpoint cadence.
+        executor: applies an ordered operation, returns a result digest.
+        state_digest_fn: returns the current state digest (checkpoints).
+        event_log: optional sink for protocol events.
+        faults: byzantine/crash behaviour; honest by default.
+        epoch: consensus epoch this replica belongs to (the G-PBFT era).
+            Messages from other epochs are ignored, so in-flight traffic
+            from a previous era cannot pollute the new era's instances.
+        state_transfer_fn: host-provided catch-up hook.  When a stable
+            checkpoint forms beyond this replica's execution point (it
+            crashed or missed traffic), the hook is called with the
+            checkpoint sequence and must install a peer's application
+            state, returning the sequence it installed up to (or None
+            when no peer could serve the transfer).  Castro-Liskov
+            section 4.6 ("state transfer").
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        committee: tuple[int, ...] | list[int],
+        sim: Simulator,
+        send: SendFn,
+        config: PBFTConfig | None = None,
+        executor: Executor | None = None,
+        state_digest_fn: Callable[[], bytes] | None = None,
+        event_log: EventLog | None = None,
+        faults: FaultModel | None = None,
+        epoch: int = 0,
+        state_transfer_fn: Callable[[int], int | None] | None = None,
+    ) -> None:
+        self.committee = tuple(committee)
+        if len(set(self.committee)) != len(self.committee):
+            raise ConsensusError("committee contains duplicate ids")
+        if node_id not in self.committee:
+            raise ConsensusError(f"replica {node_id} not in committee {self.committee}")
+        self.node_id = node_id
+        self.sim = sim
+        self._send = send
+        self.config = config or PBFTConfig()
+        self._executor = executor or (lambda op, seq, view: sha256(op.signing_bytes()))
+        self._state_digest_fn = state_digest_fn or (lambda: sha256(b"state"))
+        self.events = event_log
+        self.faults = faults or HonestFaults()
+        self.epoch = epoch
+        self._state_transfer_fn = state_transfer_fn
+
+        self.n = len(self.committee)
+        self.f = (self.n - 1) // 3
+        self.view = 0
+        self.next_seq = 1
+        self.log = MessageLog(self.n, node_id)
+        self.last_executed = 0
+        self.stable_seq = 0
+        self.stopped = False
+        self.in_view_change = False
+
+        # request_id -> (seq, Reply) once executed; replay protection + resends
+        self._executed_requests: dict[str, Reply] = {}
+        # execution order of request ids, for checkpoint-time GC of the
+        # replay-protection map (unbounded otherwise on long runs)
+        self._executed_order: list[tuple[int, str]] = []
+        # seq -> instance chosen for execution (first committed wins)
+        self._committed_by_seq: dict[int, tuple[int, int]] = {}
+        # request_id -> pending ClientRequest (backup is waiting on primary)
+        self._pending: dict[str, ClientRequest] = {}
+        self._timers: dict[str, ScheduledEvent] = {}
+        # seq assigned per request_id at this primary (avoid double-assign)
+        self._assigned: dict[str, int] = {}
+        # checkpoint votes: seq -> digest -> set of senders
+        self._checkpoint_votes: dict[int, dict[bytes, set[int]]] = {}
+        # view-change votes: new_view -> sender -> ViewChange
+        self._view_change_votes: dict[int, dict[int, ViewChange]] = {}
+        # messages for views we have not entered yet (network reordering
+        # can deliver a pre-prepare before its new-view); replayed on entry
+        self._future_messages: dict[int, list] = {}
+        # escalation timer: if a started view change never completes
+        # (the next primary is also faulty), move to the view after it
+        self._view_change_timer: ScheduledEvent | None = None
+
+    # -- helpers --------------------------------------------------------------
+
+    @property
+    def primary(self) -> int:
+        """Node id of the current view's primary."""
+        return self.committee[primary_for_view(self.view, self.n)]
+
+    @property
+    def is_primary(self) -> bool:
+        """True iff this replica leads the current view."""
+        return self.primary == self.node_id
+
+    def primary_of(self, view: int) -> int:
+        """Primary of an arbitrary *view*."""
+        return self.committee[primary_for_view(view, self.n)]
+
+    @property
+    def high_watermark(self) -> int:
+        """H = h + window: highest acceptable sequence number."""
+        return self.stable_seq + self.config.watermark_window
+
+    def _record(self, kind: str, **data) -> None:
+        if self.events is not None:
+            self.events.record(self.sim.now, kind, node=self.node_id, **data)
+
+    def _unicast(self, dst: int, payload) -> None:
+        if self.faults.suppress_send(payload.kind):
+            return
+        if dst == self.node_id:
+            return
+        self._send(dst, payload)
+
+    def _multicast(self, payload) -> None:
+        for dst in self.committee:
+            self._unicast(dst, payload)
+
+    def shutdown(self) -> None:
+        """Stop participating and cancel every pending timer.
+
+        Used by the era-switch machinery: old-era replicas are shut down
+        before the new-era committee relaunches.
+        """
+        self.stopped = True
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        if self._view_change_timer is not None:
+            self._view_change_timer.cancel()
+            self._view_change_timer = None
+
+    def pending_requests(self) -> list[ClientRequest]:
+        """Requests this replica knows about but has not executed.
+
+        The era-switch machinery carries these into the next era so that
+        in-flight transactions survive the committee change (paper
+        section IV-A2: halt the old consensus, relaunch the new one).
+        """
+        return [
+            req
+            for rid, req in self._pending.items()
+            if rid not in self._executed_requests
+        ]
+
+    def watch_request(self, request: ClientRequest) -> None:
+        """Track *request* for liveness without forwarding it.
+
+        Era carry-over uses this on all but one surviving member: every
+        old-era replica already held the request, so having each of them
+        re-forward it would hand the new primary dozens of copies.  The
+        primary proposes it; backups only arm their view-change timers.
+        """
+        rid = request.request_id
+        if rid in self._executed_requests or self.stopped:
+            return
+        if self.is_primary:
+            self._assign_and_propose(request)
+        else:
+            self._pending.setdefault(rid, request)
+            self._start_timer(rid)
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def receive(self, payload) -> None:
+        """Entry point for every protocol message addressed to us."""
+        if self.stopped:
+            return
+        if self.faults.drop_incoming(payload.kind):
+            return
+        if getattr(payload, "epoch", self.epoch) != self.epoch:
+            return  # stale traffic from another era
+        kind = payload.kind
+        if kind == "pbft.request":
+            self.on_request(payload)
+        elif kind == "pbft.pre_prepare":
+            self.on_pre_prepare(payload)
+        elif kind == "pbft.prepare":
+            self.on_prepare(payload)
+        elif kind == "pbft.commit":
+            self.on_commit(payload)
+        elif kind == "pbft.checkpoint":
+            self.on_checkpoint(payload)
+        elif kind == "pbft.view_change":
+            self.on_view_change(payload)
+        elif kind == "pbft.new_view":
+            self.on_new_view(payload)
+        # unknown kinds are ignored: the node may co-host other protocols
+
+    # -- client requests -----------------------------------------------------------
+
+    def on_request(self, request: ClientRequest) -> None:
+        """Handle a client request (possibly retransmitted or forwarded)."""
+        rid = request.request_id
+        done = self._executed_requests.get(rid)
+        if done is not None:
+            # retransmission of an executed request: resend the reply
+            self._unicast(request.client, done)
+            return
+        if self.in_view_change:
+            self._pending.setdefault(rid, request)
+            return
+        if self.is_primary:
+            self._assign_and_propose(request)
+        else:
+            # forward to the primary and watch it for liveness
+            self._pending.setdefault(rid, request)
+            self._unicast(self.primary, request)
+            self._start_timer(rid)
+
+    def _assign_and_propose(self, request: ClientRequest) -> None:
+        rid = request.request_id
+        if rid in self._assigned:
+            return
+        if self.next_seq > self.high_watermark:
+            # window full: park the request until a checkpoint advances h
+            self._pending.setdefault(rid, request)
+            return
+        seq = self.next_seq
+        self.next_seq += 1
+        self._assigned[rid] = seq
+        self._pending.setdefault(rid, request)
+        digest = request.digest()
+        self._record("pbft.assigned", seq=seq, view=self.view, request_id=rid)
+        # per-destination send so byzantine primaries can equivocate
+        for dst in self.committee:
+            if dst == self.node_id:
+                continue
+            msg = PrePrepare(
+                view=self.view,
+                seq=seq,
+                digest=self.faults.mutate_digest(digest, dst),
+                request=request,
+                sender=self.node_id,
+                epoch=self.epoch,
+            )
+            self._unicast(dst, msg)
+        own = PrePrepare(
+            view=self.view, seq=seq, digest=digest, request=request,
+            sender=self.node_id, epoch=self.epoch,
+        )
+        self.log.add_pre_prepare(own)
+        self._maybe_commit(self.view, seq)
+
+    # -- three phases ------------------------------------------------------------------
+
+    def _stash_future(self, msg) -> None:
+        self._future_messages.setdefault(msg.view, []).append(msg)
+
+    def on_pre_prepare(self, msg: PrePrepare) -> None:
+        """Backup path: validate and answer with a prepare."""
+        if msg.view > self.view:
+            self._stash_future(msg)
+            return
+        if msg.view != self.view or self.in_view_change:
+            return
+        if msg.sender != self.primary:
+            return  # only the view's primary may pre-prepare
+        if not (self.stable_seq < msg.seq <= self.high_watermark):
+            return
+        if msg.digest != msg.request.digest():
+            return  # primary lied about the request body
+        if not self.log.add_pre_prepare(msg):
+            return
+        self._pending.setdefault(msg.request.request_id, msg.request)
+        state = self.log.instance(msg.view, msg.seq)
+        if not state.prepare_sent:
+            state.prepare_sent = True
+            prepare = Prepare(
+                view=msg.view, seq=msg.seq, digest=msg.digest,
+                sender=self.node_id, epoch=self.epoch,
+            )
+            self._multicast(prepare)
+            self.log.add_prepare(prepare)
+        self._maybe_commit(msg.view, msg.seq)
+
+    def on_prepare(self, msg: Prepare) -> None:
+        """Record a peer's prepare and advance if a quorum formed."""
+        if msg.view > self.view:
+            self._stash_future(msg)
+            return
+        if msg.view != self.view or self.in_view_change:
+            return
+        if msg.sender not in self.committee:
+            return
+        self.log.add_prepare(msg)
+        self._maybe_commit(msg.view, msg.seq)
+
+    def _maybe_commit(self, view: int, seq: int) -> None:
+        if not self.log.prepared(view, seq):
+            return
+        state = self.log.instance(view, seq)
+        if not state.commit_sent:
+            state.commit_sent = True
+            commit = Commit(
+                view=view, seq=seq, digest=state.digest,
+                sender=self.node_id, epoch=self.epoch,
+            )
+            self._multicast(commit)
+            self.log.add_commit(commit)
+        self._maybe_execute(view, seq)
+
+    def on_commit(self, msg: Commit) -> None:
+        """Record a peer's commit and execute once committed-local."""
+        if msg.view > self.view:
+            self._stash_future(msg)
+            return
+        if msg.view != self.view or self.in_view_change:
+            return
+        if msg.sender not in self.committee:
+            return
+        self.log.add_commit(msg)
+        self._maybe_commit(msg.view, msg.seq)
+
+    # -- execution ---------------------------------------------------------------------
+
+    def _maybe_execute(self, view: int, seq: int) -> None:
+        if not self.log.committed_local(view, seq):
+            return
+        self._committed_by_seq.setdefault(seq, (view, seq))
+        # execute every consecutive committed sequence
+        while True:
+            nxt = self.last_executed + 1
+            key = self._committed_by_seq.get(nxt)
+            if key is None:
+                break
+            state = self.log.instance(*key)
+            if state.request is None or state.executed:
+                break
+            self._execute(state)
+
+    def _execute(self, state) -> None:
+        request = state.request
+        seq = state.seq
+        state.executed = True
+        self.last_executed = seq
+        rid = request.request_id
+        if rid in self._executed_requests:
+            # re-proposed after a view change but already executed here:
+            # consume the sequence number without re-running the operation
+            return
+        result = self._executor(request.op, seq, state.view)
+        self._record("pbft.executed", seq=seq, view=state.view, request_id=rid)
+        reply = Reply(
+            view=state.view,
+            timestamp=request.timestamp,
+            client=request.client,
+            sender=self.node_id,
+            request_id=rid,
+            result_digest=result,
+        )
+        self._executed_requests[rid] = reply
+        self._executed_order.append((seq, rid))
+        self._pending.pop(rid, None)
+        self._cancel_timer(rid)
+        self._unicast(request.client, reply)
+        if seq % self.config.checkpoint_interval == 0:
+            self._emit_checkpoint(seq)
+
+    # -- checkpoints --------------------------------------------------------------------
+
+    def _emit_checkpoint(self, seq: int) -> None:
+        digest = self._state_digest_fn()
+        msg = Checkpoint(seq=seq, state_digest=digest, sender=self.node_id, epoch=self.epoch)
+        self._multicast(msg)
+        self._note_checkpoint(msg)
+
+    def on_checkpoint(self, msg: Checkpoint) -> None:
+        """Collect checkpoint votes; 2f+1 matching -> stable, GC the log."""
+        if msg.sender not in self.committee:
+            return
+        self._note_checkpoint(msg)
+
+    def _note_checkpoint(self, msg: Checkpoint) -> None:
+        if msg.seq <= self.stable_seq:
+            return
+        votes = self._checkpoint_votes.setdefault(msg.seq, {})
+        senders = votes.setdefault(msg.state_digest, set())
+        senders.add(msg.sender)
+        if len(senders) >= 2 * self.f + 1:
+            self.stable_seq = msg.seq
+            self.log.garbage_collect(msg.seq)
+            for s in [s for s in self._checkpoint_votes if s <= msg.seq]:
+                del self._checkpoint_votes[s]
+            for s in [s for s in self._committed_by_seq if s <= msg.seq]:
+                del self._committed_by_seq[s]
+            self._record("pbft.checkpoint_stable", seq=msg.seq)
+            # GC replay protection for requests the whole quorum has
+            # durably executed -- they can never be legitimately
+            # re-proposed past a stable checkpoint
+            keep_from = 0
+            for index, (seq, rid) in enumerate(self._executed_order):
+                if seq > msg.seq:
+                    keep_from = index
+                    break
+                self._executed_requests.pop(rid, None)
+                keep_from = index + 1
+            del self._executed_order[:keep_from]
+            if self.last_executed < msg.seq:
+                # we fell behind the stable checkpoint (crash/partition):
+                # fetch a peer's state instead of replaying the log
+                self._try_state_transfer(msg.seq)
+            if self.is_primary:
+                self._drain_parked_requests()
+
+    def _try_state_transfer(self, target_seq: int) -> None:
+        if self._state_transfer_fn is None:
+            return
+        installed = self._state_transfer_fn(target_seq)
+        if installed is not None and installed > self.last_executed:
+            self.last_executed = installed
+            self.next_seq = max(self.next_seq, installed + 1)
+            self._record("pbft.state_transfer", seq=installed)
+
+    def _drain_parked_requests(self) -> None:
+        """Propose requests parked while the watermark window was full."""
+        for rid, request in list(self._pending.items()):
+            if rid in self._assigned or rid in self._executed_requests:
+                continue
+            if self.next_seq > self.high_watermark:
+                break
+            self._assign_and_propose(request)
+
+    # -- view change ---------------------------------------------------------------------
+
+    def _start_timer(self, rid: str) -> None:
+        if rid in self._timers:
+            return
+        self._timers[rid] = self.sim.schedule(
+            self.config.view_change_timeout_s, self._on_timeout, rid
+        )
+
+    def _cancel_timer(self, rid: str) -> None:
+        timer = self._timers.pop(rid, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _on_timeout(self, rid: str) -> None:
+        self._timers.pop(rid, None)
+        if self.stopped or rid in self._executed_requests:
+            return
+        self.start_view_change(self.view + 1)
+
+    def start_view_change(self, new_view: int) -> None:
+        """Broadcast a view-change vote for *new_view*."""
+        if new_view <= self.view:
+            return
+        self.in_view_change = True
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        proofs = tuple(
+            PreparedProof(
+                view=s.view,
+                seq=s.seq,
+                digest=s.digest,
+                request=s.request,
+                prepare_count=len(s.prepares),
+            )
+            # all prepared instances above the stable checkpoint -- the
+            # executed ones too, or a new primary could reuse their seqs
+            for s in self.log.prepared_instances(self.stable_seq)
+            if s.request is not None
+        )
+        msg = ViewChange(
+            new_view=new_view,
+            last_stable_seq=self.stable_seq,
+            prepared=proofs,
+            sender=self.node_id,
+            epoch=self.epoch,
+        )
+        self._record("pbft.view_change", new_view=new_view)
+        if self._view_change_timer is not None:
+            self._view_change_timer.cancel()
+        self._view_change_timer = self.sim.schedule(
+            self.config.view_change_timeout_s, self._on_view_change_timeout, new_view
+        )
+        self._multicast(msg)
+        self._note_view_change(msg)
+
+    def _on_view_change_timeout(self, attempted_view: int) -> None:
+        self._view_change_timer = None
+        if self.stopped or self.view >= attempted_view:
+            return
+        # the primary of attempted_view never produced a new-view:
+        # escalate past it (Castro-Liskov: wait longer each attempt)
+        self.start_view_change(attempted_view + 1)
+
+    def on_view_change(self, msg: ViewChange) -> None:
+        """Collect view-change votes; lead or join as appropriate."""
+        if msg.sender not in self.committee or msg.new_view <= self.view:
+            return
+        self._note_view_change(msg)
+
+    def _note_view_change(self, msg: ViewChange) -> None:
+        votes = self._view_change_votes.setdefault(msg.new_view, {})
+        votes[msg.sender] = msg
+        # liveness rule: after f+1 distinct votes for higher views, join
+        if (
+            not self.in_view_change
+            and msg.new_view > self.view
+            and len(votes) >= self.f + 1
+            and self.node_id not in votes
+        ):
+            self.start_view_change(msg.new_view)
+            votes = self._view_change_votes.setdefault(msg.new_view, {})
+        if (
+            len(votes) >= 2 * self.f + 1
+            and self.primary_of(msg.new_view) == self.node_id
+            and msg.new_view > self.view
+        ):
+            self._lead_new_view(msg.new_view, votes)
+
+    def _lead_new_view(self, new_view: int, votes: dict[int, ViewChange]) -> None:
+        # the O set: re-issue pre-prepares for every prepared request,
+        # choosing the highest-view certificate per sequence number
+        min_s = max(vc.last_stable_seq for vc in votes.values())
+        best: dict[int, PreparedProof] = {}
+        for vc in votes.values():
+            for proof in vc.prepared:
+                if proof.seq <= min_s:
+                    continue
+                cur = best.get(proof.seq)
+                if cur is None or proof.view > cur.view:
+                    best[proof.seq] = proof
+        max_s = max(best) if best else min_s
+        pre_prepares = []
+        for seq in range(min_s + 1, max_s + 1):
+            proof = best.get(seq)
+            if proof is not None:
+                request = proof.request
+                digest = proof.digest
+            else:
+                # fill sequence gaps with a no-op so execution can advance
+                request = ClientRequest(
+                    client=self.node_id,
+                    timestamp=self.sim.now,
+                    op=RawOperation(op_id=f"null:{new_view}:{seq}", size_bytes=8),
+                )
+                digest = request.digest()
+            pre_prepares.append(
+                PrePrepare(
+                    view=new_view,
+                    seq=seq,
+                    digest=digest,
+                    request=request,
+                    sender=self.node_id,
+                    epoch=self.epoch,
+                )
+            )
+        nv = NewView(
+            new_view=new_view,
+            view_change_senders=tuple(sorted(votes)),
+            pre_prepares=tuple(pre_prepares),
+            sender=self.node_id,
+            epoch=self.epoch,
+        )
+        self._record("pbft.new_view", new_view=new_view, reproposed=len(pre_prepares))
+        self._multicast(nv)
+        self._enter_view(new_view)
+        self.next_seq = max(max_s, self.last_executed, self.next_seq - 1) + 1
+        for pp in pre_prepares:
+            self.log.add_pre_prepare(pp)
+            self._assigned[pp.request.request_id] = pp.seq
+            self._maybe_commit(new_view, pp.seq)
+        self._drain_parked_requests()
+
+    def on_new_view(self, msg: NewView) -> None:
+        """Adopt the new view announced by its primary."""
+        if msg.sender != self.primary_of(msg.new_view):
+            return
+        if msg.new_view <= self.view and not self.in_view_change:
+            return
+        if len(msg.view_change_senders) < 2 * self.f + 1:
+            return
+        self._enter_view(msg.new_view)
+        for pp in msg.pre_prepares:
+            self.on_pre_prepare(pp)
+        # re-submit requests that are still unexecuted to the new primary
+        for rid, request in list(self._pending.items()):
+            if rid in self._executed_requests:
+                continue
+            if not self.is_primary:
+                self._unicast(self.primary, request)
+                self._start_timer(rid)
+            else:
+                self._assign_and_propose(request)
+
+    def _enter_view(self, new_view: int) -> None:
+        self.view = new_view
+        self.in_view_change = False
+        if self._view_change_timer is not None:
+            self._view_change_timer.cancel()
+            self._view_change_timer = None
+        self._view_change_votes = {
+            v: votes for v, votes in self._view_change_votes.items() if v > new_view
+        }
+        self._record("pbft.entered_view", view=new_view)
+        # replay protocol messages that arrived before we entered the view
+        for view in sorted(v for v in self._future_messages if v <= new_view):
+            for msg in self._future_messages.pop(view):
+                if view == new_view:
+                    self.receive(msg)

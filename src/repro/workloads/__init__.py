@@ -1,0 +1,43 @@
+"""Workload generation: device fleets, mobility traces, tx arrivals.
+
+The paper motivates G-PBFT with concrete IoT scenes -- street lamps in a
+car-monitoring system, payment machines in a parking lot, RFID receivers
+in location tracking (sections I, III-B).  This package turns those
+scenes into reproducible simulation inputs:
+
+* :mod:`repro.workloads.fleet` -- device-fleet builders: grids of fixed
+  infrastructure, scattered sensors, mobile devices;
+* :mod:`repro.workloads.mobility` -- mobility models (stationary with
+  GPS jitter, random waypoint) that drive mobile nodes on the simulator;
+* :mod:`repro.workloads.arrivals` -- transaction arrival processes
+  (constant-rate per node, Poisson) used by the latency experiments;
+* :mod:`repro.workloads.scenarios` -- packaged end-to-end scenes
+  (smart-city car monitoring, parking-lot payments, RFID asset
+  tracking).
+"""
+
+from repro.workloads.fleet import FleetSpec, grid_positions, scatter_positions
+from repro.workloads.mobility import StationaryModel, RandomWaypointModel, MobilityDriver
+from repro.workloads.arrivals import ConstantRateArrivals, PoissonArrivals, ArrivalProcess
+from repro.workloads.scenarios import (
+    smart_city_scenario,
+    parking_lot_scenario,
+    asset_tracking_scenario,
+    Scenario,
+)
+
+__all__ = [
+    "FleetSpec",
+    "grid_positions",
+    "scatter_positions",
+    "StationaryModel",
+    "RandomWaypointModel",
+    "MobilityDriver",
+    "ConstantRateArrivals",
+    "PoissonArrivals",
+    "ArrivalProcess",
+    "smart_city_scenario",
+    "parking_lot_scenario",
+    "asset_tracking_scenario",
+    "Scenario",
+]

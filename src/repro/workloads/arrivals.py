@@ -1,0 +1,103 @@
+"""Transaction arrival processes.
+
+The paper's latency experiment sets "each node ... to propose new
+transactions at a constant frequency" (section V-B);
+:class:`ConstantRateArrivals` is that workload.  :class:`PoissonArrivals`
+adds a memoryless variant for robustness checks.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRNG
+from repro.net.simulator import ScheduledEvent, Simulator
+
+
+class ArrivalProcess(abc.ABC):
+    """Schedules repeated transaction submissions for one node.
+
+    Args:
+        sim: shared simulator.
+        submit: zero-argument callback performing one submission.
+        rng: deterministic stream (phase/inter-arrival draws).
+    """
+
+    def __init__(self, sim: Simulator, submit: Callable[[], object], rng: DeterministicRNG) -> None:
+        self.sim = sim
+        self.submit = submit
+        self.rng = rng
+        self.submitted = 0
+        self.limit: int | None = None
+        self._timer: ScheduledEvent | None = None
+
+    @abc.abstractmethod
+    def _next_delay(self) -> float:
+        """Seconds until the next submission."""
+
+    def start(self, limit: int | None = None, phase: float | None = None) -> None:
+        """Begin submitting; stop after *limit* transactions if given.
+
+        Args:
+            limit: cap on total submissions (None = unbounded).
+            phase: initial offset; random within one period by default so
+                a population of nodes does not submit in lockstep.
+        """
+        self.limit = limit
+        delay = self._next_delay() * self.rng.random() if phase is None else phase
+        self._timer = self.sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Cancel future submissions."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _fire(self) -> None:
+        self._timer = None
+        if self.limit is not None and self.submitted >= self.limit:
+            return
+        self.submit()
+        self.submitted += 1
+        if self.limit is None or self.submitted < self.limit:
+            self._timer = self.sim.schedule(self._next_delay(), self._fire)
+
+
+class ConstantRateArrivals(ArrivalProcess):
+    """One submission every ``period_s`` seconds (the paper's workload)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        submit: Callable[[], object],
+        rng: DeterministicRNG,
+        period_s: float,
+    ) -> None:
+        if period_s <= 0:
+            raise ConfigurationError("period must be positive")
+        super().__init__(sim, submit, rng)
+        self.period_s = period_s
+
+    def _next_delay(self) -> float:
+        return self.period_s
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Exponential inter-arrival times with the given mean."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        submit: Callable[[], object],
+        rng: DeterministicRNG,
+        mean_period_s: float,
+    ) -> None:
+        if mean_period_s <= 0:
+            raise ConfigurationError("mean period must be positive")
+        super().__init__(sim, submit, rng)
+        self.mean_period_s = mean_period_s
+
+    def _next_delay(self) -> float:
+        return self.rng.exponential(self.mean_period_s)

@@ -1,0 +1,81 @@
+"""Device-fleet placement: grids for infrastructure, scatter for sensors."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRNG
+from repro.geo.coords import LatLng, Region
+
+
+@dataclass(frozen=True, slots=True)
+class FleetSpec:
+    """Composition of one device population.
+
+    Attributes:
+        n_fixed_infrastructure: grid-placed fixed devices (street lamps,
+            payment machines) -- the endorser candidates.
+        n_fixed_sensors: scattered fixed devices (environment sensors).
+        n_mobile: mobile devices (phones, vehicles) -- never electable.
+    """
+
+    n_fixed_infrastructure: int
+    n_fixed_sensors: int = 0
+    n_mobile: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_fixed_infrastructure < 0 or self.n_fixed_sensors < 0 or self.n_mobile < 0:
+            raise ConfigurationError("fleet counts must be non-negative")
+
+    @property
+    def total(self) -> int:
+        """Total devices in the fleet."""
+        return self.n_fixed_infrastructure + self.n_fixed_sensors + self.n_mobile
+
+
+def grid_positions(region: Region, count: int) -> list[LatLng]:
+    """Place *count* devices on a regular grid inside *region*.
+
+    Street lamps and payment machines are installed on regular layouts;
+    a near-square grid with edge margins models that.
+    """
+    if count <= 0:
+        return []
+    cols = max(1, math.ceil(math.sqrt(count)))
+    rows = max(1, math.ceil(count / cols))
+    out: list[LatLng] = []
+    for index in range(count):
+        r, c = divmod(index, cols)
+        # margins of half a cell keep devices off the region boundary
+        frac_lat = (r + 0.5) / rows
+        frac_lng = (c + 0.5) / cols
+        out.append(
+            LatLng(
+                region.south + frac_lat * (region.north - region.south),
+                region.west + frac_lng * (region.east - region.west),
+            )
+        )
+    return out
+
+
+def scatter_positions(region: Region, count: int, rng: DeterministicRNG) -> list[LatLng]:
+    """Place *count* devices uniformly at random inside *region*."""
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    return [region.sample(rng) for _ in range(count)]
+
+
+def fleet_positions(
+    region: Region, spec: FleetSpec, rng: DeterministicRNG
+) -> tuple[list[LatLng], list[LatLng], list[LatLng]]:
+    """Positions for each fleet segment.
+
+    Returns:
+        (infrastructure, sensors, mobile_starts) position lists.
+    """
+    infra = grid_positions(region, spec.n_fixed_infrastructure)
+    sensors = scatter_positions(region, spec.n_fixed_sensors, rng.fork("sensors"))
+    mobile = scatter_positions(region, spec.n_mobile, rng.fork("mobile"))
+    return infra, sensors, mobile

@@ -1,0 +1,133 @@
+"""Chaos testing: randomized fault schedules vs safety invariants.
+
+Hypothesis generates arbitrary fault scripts (crashes, recoveries,
+message-drop phases, partitions at random times) and the tests assert
+the properties that must hold under *any* schedule:
+
+* **agreement** -- no two non-crashed replicas ever execute different
+  operation sequences (prefix consistency);
+* **no forks** -- G-PBFT ledgers stay prefix-consistent and record no
+  fork evidence;
+* **validity** -- everything executed was actually submitted;
+* **conditional liveness** -- if at most f replicas were faulty at any
+  moment and drops eventually stop, submitted requests commit.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import GPBFTConfig, NetworkConfig, PBFTConfig
+from repro.core import GPBFTDeployment
+from repro.pbft import CrashFaults, PBFTCluster, RawOperation
+
+N_REPLICAS = 7  # f = 2
+FAST_PBFT = PBFTConfig(view_change_timeout_s=5.0, request_retry_timeout_s=20.0)
+
+
+def _config(seed: int, drop: float = 0.0) -> GPBFTConfig:
+    return GPBFTConfig(
+        network=NetworkConfig(seed=seed, drop_probability=drop),
+        pbft=FAST_PBFT,
+    )
+
+
+fault_script = st.lists(
+    st.tuples(
+        st.floats(min_value=1.0, max_value=200.0),          # when
+        st.integers(min_value=0, max_value=N_REPLICAS - 1),  # which replica
+        st.booleans(),                                       # crash / recover
+    ),
+    max_size=8,
+)
+
+submission_times = st.lists(
+    st.floats(min_value=0.5, max_value=150.0), min_size=1, max_size=6
+)
+
+
+class TestPBFTChaos:
+    @given(script=fault_script, submissions=submission_times,
+           seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_agreement_and_validity_under_any_crash_schedule(
+        self, script, submissions, seed
+    ):
+        faults = {i: CrashFaults() for i in range(N_REPLICAS)}
+        cluster = PBFTCluster(N_REPLICAS, 1, config=_config(seed), faults=faults)
+        for at, replica, crash in script:
+            target = faults[replica]
+            cluster.sim.schedule_at(
+                at, target.crash if crash else target.recover
+            )
+        submitted = set()
+        for k, at in enumerate(sorted(submissions)):
+            op_id = f"chaos-{k}"
+            submitted.add(op_id)
+            cluster.sim.schedule_at(at, cluster.any_client.submit,
+                                    RawOperation(op_id))
+        cluster.run(until=800.0)
+
+        # validity: nothing executes that was not submitted (null ops from
+        # view-change gap filling excepted)
+        for node in cluster.replicas:
+            for op_id in cluster.committed_ops(node):
+                assert op_id in submitted or op_id.startswith("null:")
+        # agreement: executed sequences are prefix-consistent
+        sequences = [tuple(cluster.committed_ops(n)) for n in cluster.replicas]
+        shortest = min(len(s) for s in sequences)
+        assert len({s[:shortest] for s in sequences}) == 1
+
+    @given(crash_at=st.floats(min_value=1.0, max_value=50.0),
+           recover_after=st.floats(min_value=5.0, max_value=100.0),
+           seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_liveness_with_at_most_f_transient_crashes(
+        self, crash_at, recover_after, seed
+    ):
+        # exactly f = 2 replicas crash and later recover: every request
+        # must eventually commit
+        faults = {5: CrashFaults(), 6: CrashFaults()}
+        cluster = PBFTCluster(N_REPLICAS, 1, config=_config(seed), faults=faults)
+        for target in faults.values():
+            cluster.sim.schedule_at(crash_at, target.crash)
+            cluster.sim.schedule_at(crash_at + recover_after, target.recover)
+        rid = cluster.submit(RawOperation("must-commit"))
+        cluster.sim.schedule_at(crash_at + 1.0, cluster.any_client.submit,
+                                RawOperation("mid-crash"))
+        cluster.run(until=3000.0)
+        assert rid in cluster.any_client.completed
+        assert len(cluster.any_client.completed) == 2
+        assert cluster.all_agree()
+
+    @given(drop=st.floats(min_value=0.0, max_value=0.15),
+           seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_agreement_under_random_message_loss(self, drop, seed):
+        cluster = PBFTCluster(N_REPLICAS, 1, config=_config(seed, drop=drop))
+        for k in range(4):
+            cluster.sim.schedule_at(1.0 + 10.0 * k, cluster.any_client.submit,
+                                    RawOperation(f"lossy-{k}"))
+        cluster.run(until=2000.0)
+        sequences = [tuple(cluster.committed_ops(n)) for n in cluster.replicas]
+        shortest = min(len(s) for s in sequences)
+        assert len({s[:shortest] for s in sequences}) == 1
+
+
+class TestGPBFTChaos:
+    @given(script=fault_script, seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_ledgers_never_fork_under_crash_schedules(self, script, seed):
+        faults = {i: CrashFaults() for i in range(6)}
+        dep = GPBFTDeployment(n_nodes=9, n_endorsers=6, config=_config(seed),
+                              seed=seed, start_reports=False, faults=faults)
+        for at, replica, crash in script:
+            if replica < 6:
+                target = faults[replica]
+                dep.sim.schedule_at(at, target.crash if crash else target.recover)
+        for k, device in enumerate((6, 7, 8)):
+            dep.sim.schedule_at(1.0 + 20.0 * k, dep.submit_from, device)
+        dep.run(until=800.0)
+        assert dep.ledgers_consistent()
+        for endorser in dep.endorsers:
+            assert endorser.ledger.forks == ()

@@ -1,0 +1,354 @@
+"""Tests: wire codecs -- every encoder must hit its declared size, and
+round-trips must be lossless.  These turn the traffic-accounting model
+behind Figures 5-6 and Table III into a verified property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.transaction import ConfigAction, ConfigTransaction, NormalTransaction
+from repro.codec import (
+    decode_checkpoint,
+    decode_commit,
+    decode_geo_report,
+    decode_pre_prepare,
+    decode_prepare,
+    decode_reply,
+    decode_request,
+    decode_transaction,
+    encode_checkpoint,
+    encode_commit,
+    encode_geo_report,
+    encode_pre_prepare,
+    encode_prepare,
+    encode_reply,
+    encode_request,
+    encode_transaction,
+)
+from repro.codec.primitives import Reader, Writer
+from repro.common.errors import ValidationError
+from repro.crypto.hashing import sha256
+from repro.geo.coords import LatLng
+from repro.geo.reports import GeoReport
+from repro.pbft.messages import (
+    Checkpoint,
+    ClientRequest,
+    Commit,
+    NewView,
+    Prepare,
+    PreparedProof,
+    PrePrepare,
+    Reply,
+    ViewChange,
+)
+
+HK = LatLng(22.3193, 114.1694)
+D = sha256(b"digest")
+SIG = bytes(range(64))
+
+
+def geo(node=7, at=12.5):
+    return GeoReport(node=node, position=HK, timestamp=at)
+
+
+def normal_tx(**kw):
+    defaults = dict(sender=3, nonce=9, fee=1.25, geo=geo(3), key="temp", value="25C")
+    defaults.update(kw)
+    return NormalTransaction(**defaults)
+
+
+def request(op_bytes=200):
+    from repro.pbft.messages import RawOperation
+
+    return ClientRequest(client=1, timestamp=0.0,
+                         op=RawOperation("op", size_bytes=op_bytes))
+
+
+class TestPrimitives:
+    def test_u32_roundtrip_and_bounds(self):
+        data = Writer().u32(0).u32(2**32 - 1).bytes()
+        reader = Reader(data)
+        assert reader.u32() == 0 and reader.u32() == 2**32 - 1
+        with pytest.raises(ValidationError):
+            Writer().u32(-1)
+        with pytest.raises(ValidationError):
+            Writer().u32(2**32)
+
+    def test_f64_roundtrip_exact(self):
+        value = 1234.5678912345
+        assert Reader(Writer().f64(value).bytes()).f64() == value
+
+    def test_truncation_detected(self):
+        reader = Reader(b"\x00\x01")
+        with pytest.raises(ValidationError):
+            reader.u32()
+
+    def test_trailing_bytes_detected(self):
+        reader = Reader(b"\x00" * 5)
+        reader.u32()
+        with pytest.raises(ValidationError):
+            reader.expect_end()
+
+    def test_raw_length_check(self):
+        with pytest.raises(ValidationError):
+            Writer().raw(b"abc", expected_len=4)
+
+
+class TestGeoReportCodec:
+    def test_size_matches_declaration(self):
+        report = geo()
+        assert len(encode_geo_report(report)) == report.size_bytes == 32
+
+    def test_roundtrip(self):
+        report = geo(node=42, at=99.75)
+        assert decode_geo_report(encode_geo_report(report)) == report
+
+
+class TestTransactionCodec:
+    def test_normal_size_matches(self):
+        tx = normal_tx()
+        assert len(encode_transaction(tx, SIG)) == tx.size_bytes == 200
+
+    def test_normal_roundtrip(self):
+        tx = normal_tx()
+        decoded, signature = decode_transaction(encode_transaction(tx, SIG))
+        assert decoded == tx
+        assert signature == SIG
+        assert decoded.tx_id == tx.tx_id
+
+    def test_config_size_and_roundtrip(self):
+        tx = ConfigTransaction(sender=0, nonce=1, fee=0.0, geo=geo(0),
+                               action=ConfigAction.REMOVE_ENDORSER, subject=12)
+        data = encode_transaction(tx, SIG)
+        assert len(data) == tx.size_bytes
+        decoded, _ = decode_transaction(data)
+        assert decoded == tx
+
+    def test_oversized_key_value_rejected(self):
+        tx = normal_tx(key="k" * 60, value="v" * 60, payload_bytes=64)
+        with pytest.raises(ValidationError):
+            encode_transaction(tx)
+
+    def test_garbage_kind_rejected(self):
+        tx = normal_tx()
+        data = bytearray(encode_transaction(tx))
+        data[0] = 99
+        with pytest.raises(ValidationError):
+            decode_transaction(bytes(data))
+
+
+class TestPBFTCodecs:
+    def test_prepare_size_and_roundtrip(self):
+        msg = Prepare(view=3, seq=17, digest=D, sender=5, epoch=2)
+        data = encode_prepare(msg, SIG)
+        assert len(data) == msg.size_bytes == 108
+        decoded, signature = decode_prepare(data, epoch=2)
+        assert decoded == msg and signature == SIG
+
+    def test_commit_size_and_roundtrip(self):
+        msg = Commit(view=0, seq=1, digest=D, sender=2)
+        data = encode_commit(msg, SIG)
+        assert len(data) == msg.size_bytes
+        decoded, _ = decode_commit(data)
+        assert decoded == msg
+
+    def test_checkpoint_size_and_roundtrip(self):
+        msg = Checkpoint(seq=64, state_digest=D, sender=1)
+        data = encode_checkpoint(msg, SIG)
+        assert len(data) == msg.size_bytes
+        decoded, _ = decode_checkpoint(data)
+        assert decoded == msg
+
+    def test_reply_size_and_roundtrip(self):
+        msg = Reply(view=1, timestamp=10.5, client=9, sender=2,
+                    request_id="9:op", result_digest=D)
+        data = encode_reply(msg, SIG)
+        assert len(data) == msg.size_bytes
+        decoded, _ = decode_reply(data, request_id="9:op")
+        assert decoded == msg
+
+    def test_request_size_and_fields(self):
+        tx = normal_tx()
+        from repro.core.messages import TxOperation
+        request = ClientRequest(client=8, timestamp=3.5, op=TxOperation(tx))
+        op_bytes = encode_transaction(tx, SIG)
+        data = encode_request(request, op_bytes, SIG)
+        assert len(data) == request.size_bytes
+        client, ts, signature, payload = decode_request(data)
+        assert (client, ts, signature) == (8, 3.5, SIG)
+        decoded_tx, _ = decode_transaction(payload)
+        assert decoded_tx == tx
+
+    def test_request_op_length_mismatch_rejected(self):
+        tx = normal_tx()
+        from repro.core.messages import TxOperation
+        request = ClientRequest(client=8, timestamp=3.5, op=TxOperation(tx))
+        with pytest.raises(ValidationError):
+            encode_request(request, b"short", SIG)
+
+    def test_pre_prepare_size_and_fields(self):
+        tx = normal_tx()
+        from repro.core.messages import TxOperation
+        request = ClientRequest(client=8, timestamp=3.5, op=TxOperation(tx))
+        request_bytes = encode_request(request, encode_transaction(tx, SIG), SIG)
+        msg = PrePrepare(view=0, seq=1, digest=request.digest(),
+                         request=request, sender=0)
+        data = encode_pre_prepare(msg, request_bytes, SIG)
+        assert len(data) == msg.size_bytes
+        view, seq, sender, digest, _sig, payload = decode_pre_prepare(data)
+        assert (view, seq, sender) == (0, 1, 0)
+        assert digest == request.digest()
+        assert payload == request_bytes
+
+
+class TestBlockCodec:
+    def _block(self, n_txs=3):
+        from repro.chain.block import Block
+
+        txs = [normal_tx(nonce=i, value=str(i)) for i in range(n_txs)]
+        return Block.assemble(1, b"\x00" * 32, 0, 0, 1, 0, 5.0, txs)
+
+    def test_header_size_matches(self):
+        from repro.codec.wire import encode_block_header
+
+        block = self._block()
+        assert len(encode_block_header(block.header)) == block.header.size_bytes
+
+    def test_header_roundtrip(self):
+        from repro.codec.wire import decode_block_header, encode_block_header
+
+        block = self._block()
+        decoded, sig = decode_block_header(encode_block_header(block.header, SIG))
+        assert decoded == block.header
+        assert sig == SIG
+        assert decoded.digest() == block.header.digest()
+
+    def test_block_size_matches_declaration(self):
+        from repro.codec.wire import encode_block
+
+        for n in (0, 1, 5):
+            block = self._block(n)
+            assert len(encode_block(block)) == block.size_bytes
+
+    def test_block_roundtrip_preserves_digest(self):
+        from repro.codec.wire import decode_block, encode_block
+
+        block = self._block(4)
+        decoded = decode_block(encode_block(block))
+        assert decoded.digest() == block.digest()
+        assert [t.tx_id for t in decoded.transactions] == [
+            t.tx_id for t in block.transactions
+        ]
+
+
+class TestViewChangeCodecs:
+    def _proof(self, prepare_count=3):
+        req = request()
+        return PreparedProof(view=0, seq=1, digest=req.digest(),
+                             request=req, prepare_count=prepare_count), req
+
+    def test_prepared_proof_size_matches(self):
+        from repro.codec.wire import encode_prepared_proof, encode_request
+
+        proof, req = self._proof()
+        req_bytes = encode_request(req, b"\x00" * req.op.size_bytes)
+        data = encode_prepared_proof(proof, req_bytes)
+        assert len(data) == proof.size_bytes
+
+    def test_view_change_size_matches(self):
+        from repro.codec.wire import (
+            encode_prepared_proof,
+            encode_request,
+            encode_view_change,
+        )
+
+        proof, req = self._proof(prepare_count=2)
+        req_bytes = encode_request(req, b"\x00" * req.op.size_bytes)
+        proof_bytes = encode_prepared_proof(proof, req_bytes)
+        msg = ViewChange(new_view=1, last_stable_seq=0, prepared=(proof,),
+                         sender=2)
+        data = encode_view_change(msg, [proof_bytes], SIG)
+        assert len(data) == msg.size_bytes
+        empty = ViewChange(new_view=1, last_stable_seq=0, prepared=(), sender=2)
+        assert len(encode_view_change(empty, [], SIG)) == empty.size_bytes
+
+    def test_new_view_size_matches(self):
+        from repro.codec.wire import (
+            encode_new_view,
+            encode_pre_prepare,
+            encode_request,
+        )
+
+        req = request()
+        req_bytes = encode_request(req, b"\x00" * req.op.size_bytes)
+        pp = PrePrepare(view=1, seq=1, digest=req.digest(), request=req, sender=0)
+        pp_bytes = encode_pre_prepare(pp, req_bytes)
+        msg = NewView(new_view=1, view_change_senders=(0, 1, 2),
+                      pre_prepares=(pp,), sender=0)
+        data = encode_new_view(msg, [pp_bytes], SIG)
+        assert len(data) == msg.size_bytes
+
+
+class TestEraSwitchCodec:
+    def test_size_and_roundtrip(self):
+        from repro.codec.wire import decode_era_switch, encode_era_switch
+        from repro.core.messages import EraSwitchOperation
+
+        op = EraSwitchOperation(new_era=2, committee=(0, 1, 2, 3, 7),
+                                added=(7,), removed=(4,))
+        data = encode_era_switch(op)
+        assert len(data) == op.size_bytes
+        assert decode_era_switch(data) == op
+
+
+class TestCodecProperties:
+    @given(
+        node=st.integers(min_value=0, max_value=2**31),
+        lat=st.floats(min_value=-89.0, max_value=89.0, allow_nan=False),
+        lng=st.floats(min_value=-179.0, max_value=179.0, allow_nan=False),
+        ts=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    )
+    @settings(max_examples=50)
+    def test_geo_report_roundtrip_property(self, node, lat, lng, ts):
+        report = GeoReport(node=node, position=LatLng(lat, lng), timestamp=ts)
+        assert decode_geo_report(encode_geo_report(report)) == report
+
+    @given(
+        sender=st.integers(min_value=0, max_value=2**16),
+        nonce=st.integers(min_value=0, max_value=2**16),
+        fee=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        key=st.text(alphabet="abcdefgh", min_size=0, max_size=10),
+        value=st.text(alphabet="0123456789", min_size=0, max_size=10),
+    )
+    @settings(max_examples=50)
+    def test_transaction_roundtrip_property(self, sender, nonce, fee, key, value):
+        tx = normal_tx(sender=sender, nonce=nonce, fee=fee, key=key, value=value)
+        data = encode_transaction(tx)
+        assert len(data) == tx.size_bytes
+        decoded, _ = decode_transaction(data)
+        assert decoded == tx
+
+    @given(view=st.integers(min_value=0, max_value=2**20),
+           seq=st.integers(min_value=0, max_value=2**20),
+           sender=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=50)
+    def test_prepare_roundtrip_property(self, view, seq, sender):
+        msg = Prepare(view=view, seq=seq, digest=D, sender=sender)
+        data = encode_prepare(msg)
+        assert len(data) == msg.size_bytes
+        decoded, _ = decode_prepare(data)
+        assert decoded == msg
+
+    @given(n_txs=st.integers(min_value=0, max_value=8),
+           height=st.integers(min_value=1, max_value=1000),
+           era=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=30)
+    def test_block_roundtrip_property(self, n_txs, height, era):
+        from repro.chain.block import Block
+        from repro.codec.wire import decode_block, encode_block
+
+        txs = [normal_tx(nonce=i, value=str(i)) for i in range(n_txs)]
+        block = Block.assemble(height, b"\x11" * 32, era, 0, height, 2,
+                               float(height), txs)
+        data = encode_block(block)
+        assert len(data) == block.size_bytes
+        assert decode_block(data).digest() == block.digest()

@@ -1,0 +1,126 @@
+"""Unit tests: configuration validation (repro.common.config)."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import (
+    CommitteeConfig,
+    ElectionConfig,
+    EraConfig,
+    GPBFTConfig,
+    IncentiveConfig,
+    NetworkConfig,
+    PBFTConfig,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestNetworkConfig:
+    def test_defaults_are_valid(self):
+        cfg = NetworkConfig()
+        assert cfg.processing_rate > 0
+        assert cfg.drop_probability == 0.0
+
+    def test_rejects_nonpositive_processing_rate(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(processing_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(processing_rate=-1.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(base_latency_s=-0.001)
+
+    def test_rejects_bad_drop_probability(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(drop_probability=1.0)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(drop_probability=-0.1)
+
+    def test_is_frozen(self):
+        cfg = NetworkConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.processing_rate = 5.0  # type: ignore[misc]
+
+
+class TestPBFTConfig:
+    def test_watermark_must_cover_checkpoint_interval(self):
+        with pytest.raises(ConfigurationError):
+            PBFTConfig(checkpoint_interval=100, watermark_window=50)
+
+    def test_rejects_nonpositive_timeouts(self):
+        with pytest.raises(ConfigurationError):
+            PBFTConfig(view_change_timeout_s=0)
+        with pytest.raises(ConfigurationError):
+            PBFTConfig(request_retry_timeout_s=-1)
+
+
+class TestCommitteeConfig:
+    def test_paper_defaults(self):
+        cfg = CommitteeConfig()
+        assert cfg.min_endorsers == 4
+        assert cfg.max_endorsers == 40
+
+    def test_minimum_is_pbft_floor(self):
+        with pytest.raises(ConfigurationError):
+            CommitteeConfig(min_endorsers=3)
+
+    def test_max_below_min_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommitteeConfig(min_endorsers=10, max_endorsers=5)
+
+    def test_black_white_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommitteeConfig(blacklist=frozenset({7}), whitelist=frozenset({7}))
+
+
+class TestElectionConfig:
+    def test_paper_defaults(self):
+        cfg = ElectionConfig()
+        assert cfg.stationary_hours == 72.0
+
+    def test_rejects_bad_precision(self):
+        with pytest.raises(ConfigurationError):
+            ElectionConfig(csc_precision=0)
+        with pytest.raises(ConfigurationError):
+            ElectionConfig(csc_precision=25)
+
+    def test_rejects_nonpositive_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            ElectionConfig(stationary_hours=0)
+        with pytest.raises(ConfigurationError):
+            ElectionConfig(min_reports=0)
+
+
+class TestEraConfig:
+    def test_paper_switch_duration(self):
+        assert EraConfig().switch_duration_s == pytest.approx(0.25)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ConfigurationError):
+            EraConfig(period_s=0)
+
+
+class TestIncentiveConfig:
+    def test_paper_split(self):
+        cfg = IncentiveConfig()
+        assert cfg.producer_share == pytest.approx(0.70)
+        assert cfg.endorser_share == pytest.approx(0.30)
+
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            IncentiveConfig(producer_share=0.8, endorser_share=0.3)
+
+    def test_shares_must_be_fractions(self):
+        with pytest.raises(ConfigurationError):
+            IncentiveConfig(producer_share=1.5, endorser_share=-0.5)
+
+
+class TestGPBFTConfig:
+    def test_replace_swaps_sections(self):
+        cfg = GPBFTConfig()
+        new = cfg.replace(committee=CommitteeConfig(max_endorsers=20))
+        assert new.committee.max_endorsers == 20
+        assert cfg.committee.max_endorsers == 40  # original untouched
+        assert new.network == cfg.network

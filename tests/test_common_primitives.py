@@ -1,0 +1,126 @@
+"""Unit tests: ids, RNG, and event log (repro.common)."""
+
+import pytest
+
+from repro.common.eventlog import Event, EventLog
+from repro.common.ids import node_name, primary_for_view, validate_node_id
+from repro.common.rng import DeterministicRNG
+
+
+class TestIds:
+    def test_node_name_formatting(self):
+        assert node_name(7) == "node-0007"
+        assert node_name(1234) == "node-1234"
+
+    def test_validate_accepts_zero(self):
+        assert validate_node_id(0) == 0
+
+    def test_validate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_node_id(-1)
+
+    def test_validate_rejects_bool_and_float(self):
+        with pytest.raises(TypeError):
+            validate_node_id(True)
+        with pytest.raises(TypeError):
+            validate_node_id(1.5)  # type: ignore[arg-type]
+
+    def test_primary_rotates_round_robin(self):
+        assert [primary_for_view(v, 4) for v in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_primary_rejects_empty_committee(self):
+        with pytest.raises(ValueError):
+            primary_for_view(0, 0)
+
+    def test_primary_rejects_negative_view(self):
+        with pytest.raises(ValueError):
+            primary_for_view(-1, 4)
+
+
+class TestDeterministicRNG:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(42, "x")
+        b = DeterministicRNG(42, "x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_labels_differ(self):
+        a = DeterministicRNG(42, "x")
+        b = DeterministicRNG(42, "y")
+        assert a.random() != b.random()
+
+    def test_fork_is_stable_and_independent(self):
+        parent = DeterministicRNG(1)
+        child1 = parent.fork("net")
+        # drawing from the parent must not disturb the child stream
+        parent.random()
+        child2 = DeterministicRNG(1).fork("net")
+        assert child1.random() == child2.random()
+
+    def test_uniform_bounds(self):
+        rng = DeterministicRNG(3)
+        for _ in range(100):
+            x = rng.uniform(2.0, 5.0)
+            assert 2.0 <= x < 5.0
+
+    def test_weighted_index_prefers_heavy_weight(self):
+        rng = DeterministicRNG(4)
+        picks = [rng.weighted_index([0.0, 0.0, 100.0]) for _ in range(50)]
+        assert all(p == 2 for p in picks)
+
+    def test_weighted_index_zero_weights_uniform(self):
+        rng = DeterministicRNG(5)
+        picks = {rng.weighted_index([0.0, 0.0, 0.0]) for _ in range(200)}
+        assert picks == {0, 1, 2}
+
+    def test_weighted_index_rejects_bad_input(self):
+        rng = DeterministicRNG(6)
+        with pytest.raises(ValueError):
+            rng.weighted_index([])
+        with pytest.raises(ValueError):
+            rng.weighted_index([1.0, -0.5])
+
+    def test_choice_returns_member(self):
+        rng = DeterministicRNG(7)
+        assert rng.choice(["a", "b", "c"]) in ("a", "b", "c")
+
+
+class TestEventLog:
+    def test_append_and_query(self):
+        log = EventLog()
+        log.record(1.0, "a", node=1)
+        log.record(2.0, "b", node=2, extra=7)
+        assert len(log) == 2
+        assert log.first("b").data["extra"] == 7
+        assert log.last("a").at == 1.0
+
+    def test_count_is_maintained(self):
+        log = EventLog()
+        for i in range(5):
+            log.record(float(i), "tick")
+        log.record(5.0, "tock")
+        assert log.count("tick") == 5
+        assert log.count("tock") == 1
+        assert log.count("absent") == 0
+
+    def test_rejects_time_regression(self):
+        log = EventLog()
+        log.record(5.0, "a")
+        with pytest.raises(ValueError):
+            log.append(Event(at=1.0, kind="b"))
+
+    def test_of_kind_and_where(self):
+        log = EventLog()
+        log.record(1.0, "x", node=1)
+        log.record(2.0, "y", node=2)
+        log.record(3.0, "x", node=3)
+        assert [e.node for e in log.of_kind("x")] == [1, 3]
+        assert [e.node for e in log.where(lambda e: e.node > 1)] == [2, 3]
+
+    def test_clear_resets_counts(self):
+        log = EventLog()
+        log.record(1.0, "x")
+        log.clear()
+        assert len(log) == 0
+        assert log.count("x") == 0
+        log.record(0.5, "x")  # earlier time allowed after clear
+        assert log.count("x") == 1

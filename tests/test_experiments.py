@@ -1,0 +1,132 @@
+"""Tests: the experiment harness (small, fast configurations).
+
+These validate the *machinery* behind every figure/table: that points
+measure what they claim, sweeps have the right shape, and the rendered
+reports carry the paper's comparisons.  The full-scale reproduction runs
+live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ConsensusError
+from repro.experiments.profiles import PAPER, QUICK, active_profile
+from repro.experiments.runner import (
+    gpbft_latency_point,
+    gpbft_traffic_point,
+    latency_sweep,
+    pbft_latency_point,
+    pbft_traffic_point,
+    traffic_sweep,
+)
+from repro.experiments.tables import table2
+from repro.analysis.models import pbft_traffic_bytes
+
+
+class TestProfiles:
+    def test_default_profile_is_quick(self, monkeypatch):
+        monkeypatch.delenv("GPBFT_BENCH_PROFILE", raising=False)
+        assert active_profile().name == "quick"
+
+    def test_env_selects_paper(self, monkeypatch):
+        monkeypatch.setenv("GPBFT_BENCH_PROFILE", "paper")
+        assert active_profile() is PAPER
+
+    def test_unknown_profile_rejected(self, monkeypatch):
+        monkeypatch.setenv("GPBFT_BENCH_PROFILE", "bogus")
+        with pytest.raises(ConfigurationError):
+            active_profile()
+
+    def test_paper_profile_matches_section_v(self):
+        assert PAPER.headline_n == 202
+        assert PAPER.reps == 10
+        assert PAPER.max_endorsers == 40
+        assert max(PAPER.latency_node_counts) == 202
+
+
+class TestLatencyPoints:
+    def test_pbft_point_returns_measured_count(self):
+        lat = pbft_latency_point(4, seed=1, proposal_period_s=600.0,
+                                 measured=3, warmup=1)
+        assert len(lat) == 3
+        assert all(x > 0 for x in lat)
+
+    def test_pbft_latency_grows_with_n(self):
+        small = pbft_latency_point(4, 1, 600.0, 2, 1)
+        big = pbft_latency_point(16, 1, 600.0, 2, 1)
+        assert sum(big) / len(big) > sum(small) / len(small)
+
+    def test_gpbft_point_capped_committee(self):
+        lat_small = gpbft_latency_point(8, 1, 600.0, 2, 1, max_endorsers=8)
+        lat_big = gpbft_latency_point(24, 1, 600.0, 2, 1, max_endorsers=8)
+        # 3x the nodes, same committee: similar latency
+        mean_small = sum(lat_small) / len(lat_small)
+        mean_big = sum(lat_big) / len(lat_big)
+        assert mean_big < mean_small * 1.6
+
+    def test_era_switch_produces_outlier(self):
+        plain = gpbft_latency_point(12, 3, 600.0, 4, 0, max_endorsers=8)
+        bumped = gpbft_latency_point(12, 3, 600.0, 4, 0, max_endorsers=8,
+                                     era_switch_at_tx=2)
+        assert max(bumped) > max(plain)
+
+    def test_deterministic_given_seed(self):
+        a = pbft_latency_point(4, 7, 600.0, 2, 1)
+        b = pbft_latency_point(4, 7, 600.0, 2, 1)
+        assert a == b
+
+
+class TestTrafficPoints:
+    def test_pbft_traffic_matches_closed_form(self):
+        measured_kb = pbft_traffic_point(10)
+        predicted_kb = pbft_traffic_bytes(10) / 1024
+        assert measured_kb == pytest.approx(predicted_kb, rel=0.15)
+
+    def test_pbft_traffic_quadratic_growth(self):
+        kb4 = pbft_traffic_point(4)
+        kb16 = pbft_traffic_point(16)
+        assert kb16 / kb4 > 8  # ~ (16/4)^2 with lower-order terms
+
+    def test_gpbft_traffic_bounded_by_committee(self):
+        kb_small = gpbft_traffic_point(10, max_endorsers=8)
+        kb_big = gpbft_traffic_point(40, max_endorsers=8)
+        assert kb_big < kb_small * 1.5
+
+    def test_gpbft_cheaper_than_pbft_past_cap(self):
+        assert gpbft_traffic_point(30, max_endorsers=8) < pbft_traffic_point(30) / 4
+
+
+class TestSweeps:
+    def test_latency_sweep_shape(self):
+        sweep = latency_sweep("pbft", [4, 7], reps=1, proposal_period_s=600.0,
+                              measured=2, warmup=1)
+        assert sweep.xs == [4.0, 7.0]
+        assert sweep.name == "PBFT"
+        assert all(p.samples for p in sweep.points)
+
+    def test_traffic_sweep_shape(self):
+        sweep = traffic_sweep("gpbft", [4, 8, 12], max_endorsers=8)
+        assert sweep.xs == [4.0, 8.0, 12.0]
+        # capped: the 12-node point is not much above the 8-node point
+        assert sweep.mean_at(12) < sweep.mean_at(8) * 1.5
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConsensusError):
+            latency_sweep("raft", [4], 1, 600.0, 1, 0)
+        with pytest.raises(ConsensusError):
+            traffic_sweep("raft", [4])
+
+
+class TestTable2:
+    def test_timer_accumulates_like_paper(self):
+        result = table2()
+        timers = result.values["timers"]
+        assert timers[0] == 0.0
+        assert timers == sorted(timers)
+        # the paper's final row: 18:56:04 of accumulated stationarity
+        assert result.values["final_timer_s"] == pytest.approx(
+            18 * 3600 + 56 * 60 + 4
+        )
+
+    def test_rendering_has_header(self):
+        text = table2().text
+        assert "CSC" in text and "geographic timer" in text.lower()

@@ -1,0 +1,104 @@
+"""Tests: the geohash-bucketed spatial index (repro.geo.index)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import GeoError
+from repro.common.rng import DeterministicRNG
+from repro.geo.coords import LatLng, Region, haversine_m
+from repro.geo.index import SpatialIndex
+
+HK = LatLng(22.3193, 114.1694)
+REGION = Region.around(HK, 800.0)
+
+
+def populated_index(count=40, seed=1, precision=6):
+    rng = DeterministicRNG(seed)
+    index = SpatialIndex(precision=precision)
+    positions = {}
+    for node in range(count):
+        pos = REGION.sample(rng)
+        index.insert(node, pos)
+        positions[node] = pos
+    return index, positions
+
+
+class TestBasics:
+    def test_insert_and_contains(self):
+        index = SpatialIndex()
+        index.insert(1, HK)
+        assert 1 in index and len(index) == 1
+        assert index.position(1) == HK
+
+    def test_move_updates_bucket(self):
+        index = SpatialIndex(precision=7)
+        index.insert(1, HK)
+        far = HK.offset_m(5000.0, 5000.0)
+        index.insert(1, far)
+        assert len(index) == 1
+        assert index.nearest(far) == 1
+        assert haversine_m(index.position(1), far) == 0.0
+
+    def test_remove(self):
+        index = SpatialIndex()
+        index.insert(1, HK)
+        assert index.remove(1) is True
+        assert index.remove(1) is False
+        assert index.nearest(HK) is None
+
+    def test_precision_validation(self):
+        with pytest.raises(GeoError):
+            SpatialIndex(precision=0)
+        with pytest.raises(GeoError):
+            SpatialIndex(precision=13)
+
+
+class TestNearest:
+    def test_matches_linear_scan(self):
+        index, positions = populated_index(count=60)
+        rng = DeterministicRNG(2)
+        for _ in range(25):
+            q = REGION.sample(rng)
+            expected = min(positions, key=lambda n: haversine_m(q, positions[n]))
+            assert index.nearest(q) == expected
+
+    def test_exclusion(self):
+        index, positions = populated_index(count=10)
+        q = positions[3]
+        assert index.nearest(q) == 3
+        second = index.nearest(q, exclude={3})
+        assert second != 3 and second is not None
+
+    def test_empty_index(self):
+        assert SpatialIndex().nearest(HK) is None
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_nearest_property(self, seed):
+        index, positions = populated_index(count=20, seed=seed)
+        q = REGION.sample(DeterministicRNG(seed, "query"))
+        got = index.nearest(q)
+        best = min(positions.values(), key=lambda p: haversine_m(q, p))
+        assert haversine_m(q, positions[got]) == pytest.approx(
+            haversine_m(q, best)
+        )
+
+
+class TestWithin:
+    def test_matches_linear_scan(self):
+        index, positions = populated_index(count=60, seed=3)
+        rng = DeterministicRNG(4)
+        for radius in (50.0, 200.0, 600.0):
+            q = REGION.sample(rng)
+            expected = sorted(
+                n for n, p in positions.items() if haversine_m(q, p) <= radius
+            )
+            assert index.within(q, radius) == expected
+
+    def test_zero_radius(self):
+        index, positions = populated_index(count=5, seed=5)
+        assert index.within(positions[2], 0.0) == [2]
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GeoError):
+            SpatialIndex().within(HK, -1.0)

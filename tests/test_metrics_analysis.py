@@ -1,0 +1,184 @@
+"""Tests: metrics (latency, traffic, collector) and analysis models."""
+
+import math
+
+import pytest
+
+from repro.analysis.models import (
+    gpbft_consensus_seconds,
+    gpbft_message_count,
+    gpbft_traffic_bytes,
+    pbft_consensus_seconds,
+    pbft_message_count,
+    pbft_phase_seconds,
+    pbft_traffic_bytes,
+    predicted_speedup,
+    predicted_traffic_reduction,
+    queueing_delay_factor,
+    utilization,
+)
+from repro.common.errors import ConfigurationError
+from repro.common.eventlog import EventLog
+from repro.metrics.collector import (
+    SweepResult,
+    render_boxplot_rows,
+    render_series,
+    render_table,
+)
+from repro.metrics.latency import BoxplotStats, LatencySamples
+from repro.net.stats import TrafficStats
+from repro.metrics.traffic import per_kind_breakdown, protocol_only_kilobytes
+
+
+class TestBoxplotStats:
+    def test_five_number_summary(self):
+        stats = BoxplotStats.from_samples([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.minimum == 1.0
+        assert stats.median == 3.0
+        assert stats.maximum == 5.0
+        assert stats.q1 == 2.0 and stats.q3 == 4.0
+        assert stats.mean == 3.0
+        assert stats.iqr == 2.0
+
+    def test_outlier_detection(self):
+        samples = [1.0, 1.1, 0.9, 1.0, 1.05, 8.0]
+        stats = BoxplotStats.from_samples(samples)
+        assert stats.outliers(samples) == [8.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoxplotStats.from_samples([])
+
+    def test_latency_samples_from_events(self):
+        log = EventLog()
+        log.record(1.0, "request.completed", latency=0.5)
+        log.record(2.0, "request.completed", latency=0.7)
+        log.record(3.0, "other")
+        samples = LatencySamples()
+        assert samples.add_from_events(log) == 2
+        assert samples.stats().count == 2
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencySamples().add(-0.1)
+
+
+class TestSweepResult:
+    def _sweep(self):
+        result = SweepResult("PBFT", "nodes", "latency (s)")
+        result.add(4, [1.0, 1.2])
+        result.add(10, [3.0, 3.5])
+        return result
+
+    def test_means_and_lookup(self):
+        sweep = self._sweep()
+        assert sweep.xs == [4.0, 10.0]
+        assert sweep.mean_at(4) == pytest.approx(1.1)
+        with pytest.raises(ConfigurationError):
+            sweep.mean_at(99)
+
+    def test_monotonic_x_enforced(self):
+        sweep = self._sweep()
+        with pytest.raises(ConfigurationError):
+            sweep.add(5, [1.0])
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepResult("x", "a", "b").add(1, [])
+
+    def test_renders(self):
+        sweep = self._sweep()
+        series = render_series(sweep)
+        assert "PBFT" in series and "#" in series
+        rows = render_boxplot_rows(sweep)
+        assert "median" in rows
+        table = render_table(["a", "b"], [["1", "2"]], title="T")
+        assert table.splitlines()[0] == "T"
+
+
+class TestTrafficHelpers:
+    def test_per_kind_breakdown_sorted(self):
+        stats = TrafficStats()
+        stats.on_send(0, "small", 100)
+        stats.on_send(0, "big", 10_000)
+        rows = per_kind_breakdown(stats.snapshot())
+        assert rows[0][0] == "big"
+
+    def test_protocol_only_filter(self):
+        stats = TrafficStats()
+        stats.on_send(0, "pbft.prepare", 1024)
+        stats.on_send(0, "geo.report", 4096)
+        kb = protocol_only_kilobytes(stats.snapshot())
+        assert kb == pytest.approx(1.0)
+
+
+class TestAnalysisModels:
+    def test_phase_time_matches_paper_formula(self):
+        # section IV-B: (2 * n) / (3 * s)
+        assert pbft_phase_seconds(202, 10.0) == pytest.approx(2 * 202 / 30)
+
+    def test_consensus_latency_monotonic_in_n(self):
+        values = [pbft_consensus_seconds(n, 10.0) for n in (4, 40, 100, 202)]
+        assert values == sorted(values)
+
+    def test_gpbft_caps_at_committee(self):
+        assert gpbft_consensus_seconds(202, 40, 10.0) == pbft_consensus_seconds(40, 10.0)
+        assert gpbft_consensus_seconds(20, 40, 10.0) == pbft_consensus_seconds(20, 10.0)
+
+    def test_message_count_quadratic(self):
+        n = 202
+        count = pbft_message_count(n)
+        assert count == 1 + (n - 1) + (n - 1) ** 2 + n * (n - 1) + n
+        # quadratic dominance
+        assert count / pbft_message_count(101) > 3.5
+
+    def test_traffic_matches_table3_order(self):
+        kb = pbft_traffic_bytes(202) / 1024
+        assert 8000 < kb < 9200  # paper: 8571.32
+        gkb = gpbft_traffic_bytes(202, 40) / 1024
+        assert 300 < gkb < 420  # paper: 380.29
+
+    def test_predicted_speedup_and_reduction(self):
+        assert predicted_speedup(202, 40) == pytest.approx(202 / 40)
+        assert predicted_traffic_reduction(202, 40) == pytest.approx((40 / 202) ** 2)
+        # below the cap there is no gain
+        assert predicted_speedup(20, 40) == 1.0
+
+    def test_utilization_and_queueing(self):
+        rho = utilization(202, 10.0, 9000.0)
+        assert rho == pytest.approx(2 * 202 * 202 / (9000 * 10))
+        assert queueing_delay_factor(0.0) == 1.0
+        assert queueing_delay_factor(0.9) > 5.0
+        assert math.isinf(queueing_delay_factor(1.0))
+
+    def test_loaded_latency_model(self):
+        from repro.analysis.models import predicted_loaded_latency
+
+        # light load ~ unloaded; saturation -> infinity
+        light = predicted_loaded_latency(40, 10.0, 1e9)
+        assert light == pytest.approx(pbft_consensus_seconds(40, 10.0))
+        loaded = predicted_loaded_latency(94, 10.0, 4000.0)
+        assert loaded > light
+        assert math.isinf(predicted_loaded_latency(202, 10.0, 4000.0))
+
+    def test_loaded_latency_tracks_simulation(self):
+        from repro.analysis.models import predicted_loaded_latency
+        from repro.experiments.runner import pbft_latency_point
+
+        # mid-utilisation point: model within ~2x of measurement
+        n, R = 40, 1200.0
+        measured = pbft_latency_point(n, seed=2, proposal_period_s=R,
+                                      measured=4, warmup=2)
+        mean = sum(measured) / len(measured)
+        predicted = predicted_loaded_latency(n, 10.0, R, propagation_s=0.0125)
+        assert 0.4 < mean / predicted < 2.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            pbft_phase_seconds(3, 10.0)
+        with pytest.raises(ConfigurationError):
+            pbft_phase_seconds(10, 0.0)
+        with pytest.raises(ConfigurationError):
+            queueing_delay_factor(-0.1)
+        with pytest.raises(ConfigurationError):
+            utilization(10, 1.0, 0.0)

@@ -1,0 +1,288 @@
+"""Unit tests: simulator, network, latency models, stats (repro.net)."""
+
+import pytest
+
+from repro.common.config import NetworkConfig
+from repro.common.errors import NetworkError
+from repro.common.rng import DeterministicRNG
+from repro.geo.coords import LatLng
+from repro.net.latency import (
+    ConstantLatency,
+    DistanceLatency,
+    LognormalLatency,
+    UniformLatency,
+)
+from repro.net.message import Envelope, RawPayload
+from repro.net.network import SimulatedNetwork
+from repro.net.simulator import Simulator
+from repro.net.stats import TrafficStats
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(1.0, fired.append, 2)
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_cancelled_events_skipped(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_until_advances_clock_exactly(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_rejects_scheduling_in_past(self):
+        sim = Simulator()
+        with pytest.raises(NetworkError):
+            sim.schedule(-1.0, lambda: None)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(NetworkError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, fired.append, "nested"))
+        sim.run()
+        assert fired == ["nested"]
+        assert sim.now == 2.0
+
+    def test_max_events_cap(self):
+        sim = Simulator()
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+        sim.schedule(1.0, reschedule)
+        fired = sim.run(max_events=10)
+        assert fired == 10
+
+    def test_run_until_condition(self):
+        sim = Simulator()
+        counter = []
+        for i in range(10):
+            sim.schedule(float(i + 1), counter.append, i)
+        met = sim.run_until_condition(lambda: len(counter) >= 3)
+        assert met and len(counter) == 3
+        met = sim.run_until_condition(lambda: len(counter) >= 100)
+        assert not met  # queue drained first
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = ConstantLatency(0.05)
+        assert model.sample(0, 1, DeterministicRNG(1)) == 0.05
+
+    def test_uniform_bounds(self):
+        model = UniformLatency(0.01, 0.02)
+        rng = DeterministicRNG(2)
+        for _ in range(100):
+            d = model.sample(0, 1, rng)
+            assert 0.01 <= d <= 0.03
+
+    def test_lognormal_positive(self):
+        model = LognormalLatency(0.02)
+        rng = DeterministicRNG(3)
+        assert all(model.sample(0, 1, rng) > 0 for _ in range(50))
+
+    def test_distance_model_scales_with_distance(self):
+        near = LatLng(22.30, 114.16)
+        far = near.offset_m(50_000.0, 0.0)
+        model = DistanceLatency({0: near, 1: near.offset_m(10.0, 0.0), 2: far},
+                                per_hop_s=0.0)
+        rng = DeterministicRNG(4)
+        assert model.sample(0, 2, rng) > model.sample(0, 1, rng)
+
+    def test_distance_model_default_for_unknown(self):
+        model = DistanceLatency({}, default_s=0.123, per_hop_s=0.0)
+        assert model.sample(5, 6, DeterministicRNG(5)) == pytest.approx(0.123)
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            ConstantLatency(-1.0)
+        with pytest.raises(NetworkError):
+            UniformLatency(-0.1, 0.0)
+        with pytest.raises(NetworkError):
+            LognormalLatency(0.0)
+
+
+class TestSimulatedNetwork:
+    def _net(self, **kwargs):
+        sim = Simulator()
+        cfg = NetworkConfig(**kwargs)
+        return sim, SimulatedNetwork(sim, cfg)
+
+    def test_delivery_and_accounting(self):
+        sim, net = self._net()
+        got = []
+        net.register(0, got.append)
+        net.register(1, lambda e: None)
+        net.send(1, 0, RawPayload("k", 100))
+        sim.run()
+        assert len(got) == 1
+        assert net.stats.bytes_sent == 100
+        assert net.stats.messages_delivered == 1
+
+    def test_duplicate_registration_rejected(self):
+        _, net = self._net()
+        net.register(0, lambda e: None)
+        with pytest.raises(NetworkError):
+            net.register(0, lambda e: None)
+
+    def test_unknown_sender_rejected(self):
+        _, net = self._net()
+        with pytest.raises(NetworkError):
+            net.send(99, 0, RawPayload("k", 10))
+
+    def test_send_to_unregistered_is_dropped(self):
+        sim, net = self._net()
+        net.register(0, lambda e: None)
+        net.send(0, 42, RawPayload("k", 10))
+        sim.run()
+        assert net.stats.messages_dropped == 1
+        assert net.stats.bytes_sent == 10  # bytes left the sender anyway
+
+    def test_serial_processing_rate(self):
+        # 10 messages at 10 msg/s must take ~1 s after arrival
+        sim, net = self._net(processing_rate=10.0, base_latency_s=0.0,
+                             latency_jitter_s=0.0)
+        times = []
+        net.register(0, lambda e: times.append(sim.now))
+        net.register(1, lambda e: None)
+        for _ in range(10):
+            net.send(1, 0, RawPayload("k", 10))
+        sim.run()
+        assert times[-1] == pytest.approx(1.0)
+        assert times[0] == pytest.approx(0.1)
+
+    def test_offline_node_receives_nothing(self):
+        sim, net = self._net()
+        got = []
+        net.register(0, got.append)
+        net.register(1, lambda e: None)
+        net.set_offline(0)
+        net.send(1, 0, RawPayload("k", 10))
+        sim.run()
+        assert got == [] and net.stats.messages_dropped == 1
+        net.set_offline(0, offline=False)
+        net.send(1, 0, RawPayload("k", 10))
+        sim.run()
+        assert len(got) == 1
+
+    def test_partition_blocks_cross_group_traffic(self):
+        sim, net = self._net()
+        got_a, got_b = [], []
+        net.register(0, got_a.append)
+        net.register(1, got_b.append)
+        net.register(2, lambda e: None)
+        net.set_partition({0: 1, 1: 2, 2: 1})
+        net.send(2, 0, RawPayload("k", 10))  # same group
+        net.send(2, 1, RawPayload("k", 10))  # cross group
+        sim.run()
+        assert len(got_a) == 1 and got_b == []
+        net.set_partition(None)
+        net.send(2, 1, RawPayload("k", 10))
+        sim.run()
+        assert len(got_b) == 1
+
+    def test_drop_probability(self):
+        sim, net = self._net(drop_probability=0.5, seed=7)
+        got = []
+        net.register(0, got.append)
+        net.register(1, lambda e: None)
+        for _ in range(200):
+            net.send(1, 0, RawPayload("k", 10))
+        sim.run()
+        assert 50 < len(got) < 150  # roughly half survive
+
+    def test_multicast_skips_sender(self):
+        sim, net = self._net()
+        got = {i: [] for i in range(3)}
+        for i in range(3):
+            net.register(i, got[i].append)
+        net.multicast(0, [0, 1, 2], RawPayload("k", 10))
+        sim.run()
+        assert got[0] == [] and len(got[1]) == 1 and len(got[2]) == 1
+
+    def test_bandwidth_serializes_sender(self):
+        sim = Simulator()
+        net = SimulatedNetwork(sim, NetworkConfig(
+            bandwidth_bps=8000.0, base_latency_s=0.0, latency_jitter_s=0.0,
+            processing_rate=1e9))
+        times = []
+        net.register(0, lambda e: times.append(sim.now))
+        net.register(1, lambda e: None)
+        for _ in range(3):
+            net.send(1, 0, RawPayload("k", 1000))  # 1 s each at 8 kbit/s
+        sim.run()
+        assert times == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_bandwidth_zero_means_unlimited(self):
+        sim = Simulator()
+        net = SimulatedNetwork(sim, NetworkConfig(
+            bandwidth_bps=0.0, base_latency_s=0.0, latency_jitter_s=0.0,
+            processing_rate=1e9))
+        times = []
+        net.register(0, lambda e: times.append(sim.now))
+        net.register(1, lambda e: None)
+        for _ in range(3):
+            net.send(1, 0, RawPayload("k", 10_000))
+        sim.run()
+        assert all(t < 0.001 for t in times)
+
+    def test_negative_bandwidth_rejected(self):
+        from repro.common.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(bandwidth_bps=-1.0)
+
+    def test_envelope_overhead_charged(self):
+        sim = Simulator()
+        net = SimulatedNetwork(sim, NetworkConfig(envelope_overhead_bytes=50))
+        net.register(0, lambda e: None)
+        net.register(1, lambda e: None)
+        net.send(0, 1, RawPayload("k", 100))
+        assert net.stats.bytes_sent == 150
+
+
+class TestTrafficStats:
+    def test_snapshot_delta(self):
+        stats = TrafficStats()
+        stats.on_send(0, "a", 100)
+        before = stats.snapshot()
+        stats.on_send(0, "a", 50)
+        stats.on_send(1, "b", 25)
+        delta = stats.snapshot().delta(before)
+        assert delta.bytes_sent == 75
+        assert delta.bytes_by_kind == {"a": 50, "b": 25}
+        assert delta.messages_sent == 2
+
+    def test_kilobytes(self):
+        stats = TrafficStats()
+        stats.on_send(0, "a", 2048)
+        assert stats.kilobytes_sent == pytest.approx(2.0)
+
+    def test_envelope_validation(self):
+        with pytest.raises(NetworkError):
+            Envelope(src=-1, dst=0, payload=RawPayload("k", 1))
+        with pytest.raises(NetworkError):
+            RawPayload("k", -5)

@@ -1,0 +1,115 @@
+"""Unit tests: PBFT message log and quorum predicates."""
+
+import pytest
+
+from repro.common.errors import ConsensusError
+from repro.crypto.hashing import sha256
+from repro.pbft.log import MessageLog
+from repro.pbft.messages import ClientRequest, Commit, Prepare, PrePrepare, RawOperation
+
+D = sha256(b"request")
+D2 = sha256(b"other")
+
+
+def request():
+    return ClientRequest(client=9, timestamp=0.0, op=RawOperation("op"))
+
+
+def pre_prepare(view=0, seq=1, digest=D, sender=0):
+    return PrePrepare(view=view, seq=seq, digest=digest, request=request(), sender=sender)
+
+
+class TestQuorums:
+    def test_f_computation(self):
+        assert MessageLog(4, 0).f == 1
+        assert MessageLog(7, 0).f == 2
+        assert MessageLog(10, 0).f == 3
+        assert MessageLog(40, 0).f == 13
+
+    def test_rejects_tiny_committee(self):
+        with pytest.raises(ConsensusError):
+            MessageLog(3, 0)
+
+    def test_prepared_needs_preprepare_plus_2f(self):
+        log = MessageLog(4, 1)  # f=1, need pre-prepare + 2 more prepares
+        log.add_pre_prepare(pre_prepare())
+        assert not log.prepared(0, 1)
+        log.add_prepare(Prepare(view=0, seq=1, digest=D, sender=1))
+        assert not log.prepared(0, 1)
+        log.add_prepare(Prepare(view=0, seq=1, digest=D, sender=2))
+        assert log.prepared(0, 1)
+
+    def test_prepares_without_preprepare_insufficient(self):
+        log = MessageLog(4, 1)
+        for s in (1, 2, 3):
+            log.add_prepare(Prepare(view=0, seq=1, digest=D, sender=s))
+        assert not log.prepared(0, 1)
+
+    def test_committed_local_needs_2f_plus_1_commits(self):
+        log = MessageLog(4, 1)
+        log.add_pre_prepare(pre_prepare())
+        for s in (1, 2):
+            log.add_prepare(Prepare(view=0, seq=1, digest=D, sender=s))
+        for s in (0, 1):
+            log.add_commit(Commit(view=0, seq=1, digest=D, sender=s))
+        assert not log.committed_local(0, 1)
+        log.add_commit(Commit(view=0, seq=1, digest=D, sender=2))
+        assert log.committed_local(0, 1)
+
+    def test_duplicate_senders_not_double_counted(self):
+        log = MessageLog(4, 1)
+        log.add_pre_prepare(pre_prepare())
+        for _ in range(5):
+            assert log.add_prepare(Prepare(view=0, seq=1, digest=D, sender=1)) in (True, False)
+        assert not log.prepared(0, 1)
+
+
+class TestConflicts:
+    def test_conflicting_preprepare_recorded(self):
+        log = MessageLog(4, 1)
+        assert log.add_pre_prepare(pre_prepare(digest=D))
+        assert not log.add_pre_prepare(
+            PrePrepare(view=0, seq=1, digest=D2, request=request(), sender=0)
+        )
+        assert log.conflicts[0][:2] == (0, 1)
+
+    def test_mismatched_prepare_rejected(self):
+        log = MessageLog(4, 1)
+        log.add_pre_prepare(pre_prepare(digest=D))
+        assert not log.add_prepare(Prepare(view=0, seq=1, digest=D2, sender=1))
+
+    def test_mismatched_commit_rejected(self):
+        log = MessageLog(4, 1)
+        log.add_pre_prepare(pre_prepare(digest=D))
+        assert not log.add_commit(Commit(view=0, seq=1, digest=D2, sender=1))
+
+
+class TestViewChangeSupport:
+    def _prepared_log(self, seqs, view=0):
+        log = MessageLog(4, 1)
+        for seq in seqs:
+            log.add_pre_prepare(pre_prepare(view=view, seq=seq))
+            for s in (1, 2):
+                log.add_prepare(Prepare(view=view, seq=seq, digest=D, sender=s))
+        return log
+
+    def test_prepared_instances_sorted_above_min(self):
+        log = self._prepared_log([1, 2, 5])
+        result = log.prepared_instances(min_seq=1)
+        assert [s.seq for s in result] == [2, 5]
+
+    def test_highest_view_certificate_wins(self):
+        log = MessageLog(4, 1)
+        for view in (0, 2):
+            log.add_pre_prepare(pre_prepare(view=view, seq=3))
+            for s in (1, 2):
+                log.add_prepare(Prepare(view=view, seq=3, digest=D, sender=s))
+        result = log.prepared_instances(min_seq=0)
+        assert len(result) == 1 and result[0].view == 2
+
+    def test_garbage_collect(self):
+        log = self._prepared_log([1, 2, 3, 4])
+        removed = log.garbage_collect(stable_seq=2)
+        assert removed == 2
+        assert not log.prepared(0, 1)
+        assert log.prepared(0, 3)

@@ -1,0 +1,78 @@
+"""Tests: the dependency-free SVG chart renderer (repro.metrics.svgplot)."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.metrics.collector import SweepResult
+from repro.metrics.svgplot import _nice_ticks, boxplot_chart, line_chart, save_svg
+
+
+def sweep(name="PBFT", values=((4, [1.0, 1.2]), (10, [3.0, 3.4]),
+                               (20, [8.0, 8.1, 8.05, 8.2, 30.0]))):
+    result = SweepResult(name, "number of nodes", "latency (s)")
+    for x, samples in values:
+        result.add(x, samples)
+    return result
+
+
+class TestTicks:
+    def test_ticks_cover_range(self):
+        ticks = _nice_ticks(0.0, 100.0)
+        assert ticks[0] <= 0.0 + 1e-9 and ticks[-1] >= 99.0
+        assert ticks == sorted(ticks)
+
+    def test_small_ranges(self):
+        ticks = _nice_ticks(0.0, 0.003)
+        assert len(ticks) >= 2
+
+    def test_degenerate_range(self):
+        assert len(_nice_ticks(5.0, 5.0)) >= 1
+
+
+class TestLineChart:
+    def test_valid_xml(self):
+        svg = line_chart([sweep("PBFT"), sweep("G-PBFT")], title="fig")
+        xml.dom.minidom.parseString(svg)
+
+    def test_contains_series_names_and_labels(self):
+        svg = line_chart([sweep("PBFT"), sweep("G-PBFT")])
+        assert "PBFT" in svg and "G-PBFT" in svg
+        assert "number of nodes" in svg and "latency (s)" in svg
+
+    def test_one_polyline_per_series(self):
+        svg = line_chart([sweep("A"), sweep("B"), sweep("C")])
+        assert svg.count("<polyline") == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([])
+        with pytest.raises(ConfigurationError):
+            line_chart([SweepResult("x", "a", "b")])
+
+
+class TestBoxplotChart:
+    def test_valid_xml(self):
+        xml.dom.minidom.parseString(boxplot_chart(sweep()))
+
+    def test_one_box_per_point(self):
+        svg = boxplot_chart(sweep())
+        assert svg.count("<rect") == 1 + 3  # background + three boxes
+
+    def test_outlier_circles_rendered(self):
+        # the 30.0 sample at x=20 is a 1.5-IQR outlier -> a hollow circle
+        svg = boxplot_chart(sweep())
+        assert 'fill="none"' in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            boxplot_chart(SweepResult("x", "a", "b"))
+
+
+class TestSave:
+    def test_save_svg(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        save_svg(line_chart([sweep()]), path)
+        assert path.exists()
+        xml.dom.minidom.parse(str(path))

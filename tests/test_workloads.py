@@ -1,0 +1,197 @@
+"""Tests: fleets, mobility, arrivals, scenarios (repro.workloads)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRNG
+from repro.geo.coords import LatLng, Region
+from repro.net.simulator import Simulator
+from repro.workloads.arrivals import ConstantRateArrivals, PoissonArrivals
+from repro.workloads.fleet import FleetSpec, fleet_positions, grid_positions, scatter_positions
+from repro.workloads.mobility import (
+    MobilityDriver,
+    RandomWaypointModel,
+    StationaryModel,
+)
+from repro.workloads.scenarios import (
+    asset_tracking_scenario,
+    parking_lot_scenario,
+    smart_city_scenario,
+)
+
+HK = LatLng(22.3193, 114.1694)
+REGION = Region.around(HK, 400.0)
+
+
+class TestFleet:
+    def test_grid_inside_region(self):
+        for pos in grid_positions(REGION, 25):
+            assert REGION.contains(pos)
+
+    def test_grid_count_and_distinctness(self):
+        positions = grid_positions(REGION, 10)
+        assert len(positions) == 10
+        assert len({(p.lat, p.lng) for p in positions}) == 10
+
+    def test_scatter_inside_region(self):
+        rng = DeterministicRNG(1)
+        for pos in scatter_positions(REGION, 30, rng):
+            assert REGION.contains(pos)
+
+    def test_spec_totals(self):
+        spec = FleetSpec(n_fixed_infrastructure=5, n_fixed_sensors=3, n_mobile=2)
+        assert spec.total == 10
+        infra, sensors, mobile = fleet_positions(REGION, spec, DeterministicRNG(2))
+        assert (len(infra), len(sensors), len(mobile)) == (5, 3, 2)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FleetSpec(n_fixed_infrastructure=-1)
+
+
+class TestMobility:
+    def test_stationary_without_jitter_never_moves(self):
+        model = StationaryModel()
+        assert model.step(HK, 60.0, DeterministicRNG(1)) == HK
+
+    def test_stationary_jitter_stays_close(self):
+        model = StationaryModel(jitter_m=5.0)
+        rng = DeterministicRNG(2)
+        pos = model.step(HK, 60.0, rng)
+        assert HK.distance_to(pos) < 10.0
+
+    def test_random_waypoint_moves_within_speed_budget(self):
+        model = RandomWaypointModel(REGION, speed_min_mps=2.0, speed_max_mps=5.0,
+                                    pause_s=0.0)
+        rng = DeterministicRNG(3)
+        pos = REGION.center
+        new_pos = model.step(pos, 30.0, rng)
+        assert pos.distance_to(new_pos) <= 5.0 * 30.0 + 1.0
+
+    def test_driver_moves_node(self):
+        class FakeNode:
+            def __init__(self):
+                self.position = REGION.center
+                self.moves = 0
+            def move_to(self, p):
+                self.position = p
+                self.moves += 1
+
+        sim = Simulator()
+        node = FakeNode()
+        driver = MobilityDriver(node, RandomWaypointModel(REGION, pause_s=0.0),
+                                sim, DeterministicRNG(4), interval_s=10.0)
+        driver.start()
+        sim.run(until=100.0)
+        assert node.moves >= 5
+        driver.stop()
+        before = node.moves
+        sim.run(until=200.0)
+        assert node.moves == before
+
+    def test_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            StationaryModel(jitter_m=-1.0)
+        with pytest.raises(ConfigurationError):
+            RandomWaypointModel(REGION, speed_min_mps=0.0)
+        with pytest.raises(ConfigurationError):
+            RandomWaypointModel(REGION, speed_min_mps=5.0, speed_max_mps=1.0)
+
+
+class TestArrivals:
+    def test_constant_rate_count(self):
+        sim = Simulator()
+        fired = []
+        arrivals = ConstantRateArrivals(sim, lambda: fired.append(sim.now),
+                                        DeterministicRNG(5), period_s=10.0)
+        arrivals.start(limit=5, phase=0.0)
+        sim.run(until=1000.0)
+        assert len(fired) == 5
+        gaps = [b - a for a, b in zip(fired, fired[1:])]
+        assert all(g == pytest.approx(10.0) for g in gaps)
+
+    def test_unbounded_until_stop(self):
+        sim = Simulator()
+        fired = []
+        arrivals = ConstantRateArrivals(sim, lambda: fired.append(1),
+                                        DeterministicRNG(6), period_s=1.0)
+        arrivals.start(phase=0.0)
+        sim.run(until=10.5)
+        arrivals.stop()
+        sim.run(until=20.0)
+        assert len(fired) == 11
+
+    def test_poisson_mean_rate(self):
+        sim = Simulator()
+        fired = []
+        arrivals = PoissonArrivals(sim, lambda: fired.append(1),
+                                   DeterministicRNG(7), mean_period_s=2.0)
+        arrivals.start(phase=0.0)
+        sim.run(until=2000.0)
+        # ~1000 expected; allow generous tolerance
+        assert 800 < len(fired) < 1200
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            ConstantRateArrivals(sim, lambda: None, DeterministicRNG(8), period_s=0.0)
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(sim, lambda: None, DeterministicRNG(9), mean_period_s=-1.0)
+
+
+class TestScenarios:
+    def test_smart_city_builds_and_runs(self):
+        scenario = smart_city_scenario(n_lamps=6, n_vehicles=4, tx_period_s=20.0, seed=1)
+        scenario.start(tx_limit_per_node=2)
+        scenario.run(120.0)
+        dep = scenario.deployment
+        assert dep.ledgers_consistent()
+        committed = dep.events.count("request.completed")
+        assert committed >= 4  # vehicles got transactions through
+
+    def test_smart_city_vehicles_actually_move(self):
+        scenario = smart_city_scenario(n_lamps=6, n_vehicles=2, seed=2)
+        start_positions = {d.node.node_id: d.node.position for d in scenario.mobility}
+        scenario.start()
+        scenario.run(300.0)
+        moved = sum(
+            1 for d in scenario.mobility
+            if d.node.position != start_positions[d.node.node_id]
+        )
+        assert moved == 2
+
+    def test_parking_lot_builds_and_runs(self):
+        scenario = parking_lot_scenario(n_machines=4, n_cars=6,
+                                        payment_period_s=30.0, seed=3)
+        scenario.start(tx_limit_per_node=1)
+        scenario.run(120.0)
+        dep = scenario.deployment
+        assert dep.events.count("request.completed") == 6
+        assert dep.ledgers_consistent()
+
+    def test_asset_tracking_records_positions_on_chain(self):
+        scenario = asset_tracking_scenario(n_readers=6, n_assets=4, seed=4)
+        scenario.start()
+        scenario.run(240.0)
+        dep = scenario.deployment
+        assert dep.events.count("request.completed") > 0
+        assert dep.ledgers_consistent()
+        ledger = dep.nodes[0].ledger
+        tracked = [a for a in range(6, 10) if ledger.state.get(f"asset{a}")]
+        assert tracked  # at least one asset sighted and committed
+
+    def test_asset_tracking_assets_move(self):
+        scenario = asset_tracking_scenario(n_readers=6, n_assets=3, seed=5)
+        starts = {d.node.node_id: d.node.position for d in scenario.mobility}
+        scenario.start()
+        scenario.run(300.0)
+        assert any(d.node.position != starts[d.node.node_id]
+                   for d in scenario.mobility)
+
+    def test_too_few_infrastructure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            smart_city_scenario(n_lamps=3)
+        with pytest.raises(ConfigurationError):
+            parking_lot_scenario(n_machines=2)
+        with pytest.raises(ConfigurationError):
+            asset_tracking_scenario(n_readers=3)
