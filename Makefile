@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench figures figures-paper charts examples clean
+.PHONY: install test lint bench sweep-smoke figures figures-paper charts examples clean
 
 install:
 	pip install -e ".[dev]"
@@ -16,6 +16,12 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# 2-point parallel sweep through the engine (jobs=2) + docstring gate
+# over the engine module; the same test runs in tier-1 via its marker
+sweep-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_engine.py -m sweep_smoke -q
+	PYTHONPATH=src $(PYTHON) scripts/check_docstrings.py
 
 # every table and figure, quick profile, text + SVG under results/
 figures:

@@ -8,10 +8,15 @@ see it), and asserts the paper's qualitative shape.
 Profile selection: ``GPBFT_BENCH_PROFILE=quick`` (default) keeps every
 bench laptop-fast; ``GPBFT_BENCH_PROFILE=paper`` reruns the full
 section-V scale (202 nodes, 10 repetitions) and takes tens of minutes.
+``GPBFT_BENCH_JOBS=N`` fans each figure's sweep points across N worker
+processes (results are bit-identical to serial; see docs/experiments.md).
 """
+
+import os
 
 import pytest
 
+from repro.experiments.engine import Engine
 from repro.experiments.profiles import active_profile
 
 
@@ -19,6 +24,17 @@ from repro.experiments.profiles import active_profile
 def profile():
     """The active experiment profile."""
     return active_profile()
+
+
+@pytest.fixture(scope="session")
+def engine():
+    """Shared sweep engine for figure benches.
+
+    ``GPBFT_BENCH_JOBS`` sets the pool size (default 1 = in-process).
+    The cache stays off so each bench measures real simulation work.
+    """
+    jobs = int(os.environ.get("GPBFT_BENCH_JOBS", "1"))
+    return Engine(jobs=jobs, use_cache=False)
 
 
 @pytest.fixture()

@@ -22,7 +22,7 @@ from repro.common.config import (
     GPBFTConfig,
 )
 from repro.core import GPBFTDeployment
-from repro.experiments.runner import gpbft_latency_point, gpbft_traffic_point
+from repro.experiments.engine import PointSpec, run_point
 from repro.geo.coords import LatLng, Region
 from repro.net.latency import ConstantLatency, DistanceLatency, LognormalLatency
 from repro.sybil import SybilStrategy
@@ -46,9 +46,10 @@ def _fast_config(max_endorsers=40, era_period=7200.0, stationary_hours=1.0):
 def _committee_cap_sweep():
     rows = []
     for cap in (4, 8, 12, 16, 24):
-        lat = gpbft_latency_point(30, seed=1, proposal_period_s=1e9,
-                                  measured=1, warmup=0, max_endorsers=cap)[0]
-        kb = gpbft_traffic_point(30, max_endorsers=cap)
+        lat = run_point(PointSpec.make(
+            "gpbft", "latency", 30, seed=1, proposal_period_s=1e9,
+            measured=1, warmup=0, max_endorsers=cap))[0]
+        kb = run_point(PointSpec.make("gpbft", "traffic", 30, max_endorsers=cap))
         rows.append((cap, lat, kb))
     return rows
 

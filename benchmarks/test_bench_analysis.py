@@ -16,11 +16,7 @@ from repro.analysis.models import (
     pbft_traffic_bytes,
     predicted_traffic_reduction,
 )
-from repro.experiments.runner import (
-    gpbft_traffic_point,
-    pbft_latency_point,
-    pbft_traffic_point,
-)
+from repro.experiments.engine import PointSpec, run_point
 
 
 def _measure(profile):
@@ -28,10 +24,11 @@ def _measure(profile):
     rows = []
     for n in (4, 10, 16, 28, 40):
         # unloaded latency: huge proposal period => no queueing
-        measured = pbft_latency_point(n, seed=1, proposal_period_s=1e9,
-                                      measured=1, warmup=0)[0]
+        measured = run_point(PointSpec.make(
+            "pbft", "latency", n, seed=1, proposal_period_s=1e9,
+            measured=1, warmup=0))[0]
         predicted = pbft_consensus_seconds(n, s, propagation_s=0.0125)
-        kb_measured = pbft_traffic_point(n)
+        kb_measured = run_point(PointSpec.make("pbft", "traffic", n))
         kb_predicted = pbft_traffic_bytes(n) / 1024
         rows.append((n, measured, predicted, kb_measured, kb_predicted))
     return rows
@@ -53,7 +50,9 @@ def test_analysis_models(run_once, profile):
 
     # IV-C reduction prediction at the largest quick point
     n, cap = 40, 8
-    measured_ratio = gpbft_traffic_point(n, max_endorsers=cap) / pbft_traffic_point(n)
+    measured_ratio = (
+        run_point(PointSpec.make("gpbft", "traffic", n, max_endorsers=cap))
+        / run_point(PointSpec.make("pbft", "traffic", n)))
     predicted_ratio = predicted_traffic_reduction(n, cap)
     print(f"traffic reduction at n={n}, c={cap}: measured {measured_ratio:.3f}, "
           f"predicted (c/n)^2 = {predicted_ratio:.3f}")

@@ -12,8 +12,8 @@ Paper claims reproduced here:
 from repro.experiments.figures import figure3
 
 
-def test_figure3(run_once, profile):
-    result = run_once(figure3, profile)
+def test_figure3(run_once, profile, engine):
+    result = run_once(figure3, profile, engine=engine)
     print("\n" + result.text)
 
     pbft, gpbft, outliers = result.series

@@ -8,8 +8,8 @@ latency is a small percentage of PBFT's (paper: 2.24% at 202 nodes).
 from repro.experiments.figures import figure4
 
 
-def test_figure4(run_once, profile):
-    result = run_once(figure4, profile)
+def test_figure4(run_once, profile, engine):
+    result = run_once(figure4, profile, engine=engine)
     print("\n" + result.text)
 
     pbft, gpbft = result.series

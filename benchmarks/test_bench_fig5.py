@@ -9,8 +9,8 @@ with the 40-endorser cap).
 from repro.experiments.figures import figure5
 
 
-def test_figure5(run_once, profile):
-    result = run_once(figure5, profile)
+def test_figure5(run_once, profile, engine):
+    result = run_once(figure5, profile, engine=engine)
     print("\n" + result.text)
 
     pbft, gpbft = result.series

@@ -9,8 +9,8 @@ from repro.experiments.figures import figure6
 from repro.analysis.models import predicted_traffic_reduction
 
 
-def test_figure6(run_once, profile):
-    result = run_once(figure6, profile)
+def test_figure6(run_once, profile, engine):
+    result = run_once(figure6, profile, engine=engine)
     print("\n" + result.text)
 
     pbft, gpbft = result.series

@@ -12,8 +12,8 @@ fraction of PBFT's latency and cost.
 from repro.experiments.tables import PAPER_TABLE3, table3
 
 
-def test_table3(run_once, profile):
-    result = run_once(table3, profile)
+def test_table3(run_once, profile, engine):
+    result = run_once(table3, profile, engine=engine)
     print("\n" + result.text)
 
     values = result.values

@@ -15,9 +15,9 @@ import sys
 
 
 def workload() -> None:
-    from repro.experiments.runner import pbft_traffic_point
+    from repro.experiments.engine import PointSpec, run_point
 
-    pbft_traffic_point(202)
+    run_point(PointSpec.make("pbft", "traffic", 202))
 
 
 def main() -> None:

@@ -1,12 +1,16 @@
 #!/usr/bin/env python
 """Incrementally record paper-profile measurements to JSON.
 
-Each (experiment, protocol, n, rep) cell is computed once and cached in
-``results/paper_results.json``; rerunning the script resumes where it
-stopped (useful under wall-clock limits).  ``--budget`` bounds one
-invocation's runtime.
+Every (protocol, n, rep) cell is an engine :class:`PointSpec`, memoized
+in the on-disk point cache under ``results/cache/``; rerunning the
+script resumes where it stopped (useful under wall-clock limits) and
+``--jobs`` fans the points of one node-count group across cores.
+``--budget`` bounds one invocation's runtime.
 
-The recorded numbers feed EXPERIMENTS.md's paper-vs-measured tables.
+The completed sweeps are serialized to ``results/paper_results.json``
+via :meth:`SweepResult.to_json` (format 2); a legacy format-1 file is
+migrated into the point cache on first run.  The recorded numbers feed
+EXPERIMENTS.md's paper-vs-measured tables.
 """
 
 from __future__ import annotations
@@ -16,26 +20,69 @@ import json
 import time
 from pathlib import Path
 
+from repro.experiments.engine import Engine, PointSpec
 from repro.experiments.profiles import PAPER
-from repro.experiments.runner import (
-    gpbft_latency_point,
-    gpbft_traffic_point,
-    pbft_latency_point,
-    pbft_traffic_point,
-)
+from repro.metrics.collector import SweepResult
 
-RESULTS = Path(__file__).resolve().parent.parent / "results" / "paper_results.json"
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results" / "paper_results.json"
+CACHE_DIR = ROOT / "results" / "cache"
 
-
-def load() -> dict:
-    if RESULTS.exists():
-        return json.loads(RESULTS.read_text())
-    return {"latency": {}, "traffic": {}}
+Y_LABELS = {"latency": "consensus latency (s)", "traffic": "communication cost (KB)"}
 
 
-def save(data: dict) -> None:
+def _specs(kind: str, protocol: str, n: int, reps: int) -> list[PointSpec]:
+    """The engine specs of one (kind, protocol, n) cell group."""
+    if kind == "traffic":
+        extra = {"max_endorsers": PAPER.max_endorsers} if protocol == "gpbft" else {}
+        return [PointSpec.make(protocol, "traffic", n, 0, **extra)]
+    return [
+        PointSpec.make(protocol, "latency", n, 1000 * n + rep,
+                       **PAPER.latency_point_kwargs(protocol))
+        for rep in range(reps)
+    ]
+
+
+def migrate_legacy(engine: Engine, reps: int) -> int:
+    """Seed the point cache from a format-1 results file, if present.
+
+    Format 1 hand-rolled ``protocol:n[:rep]`` cell keys; its values were
+    produced by the same deterministic points, so they transfer to the
+    cache verbatim rather than being recomputed.
+    """
+    if not RESULTS.exists():
+        return 0
+    data = json.loads(RESULTS.read_text())
+    if data.get("format") == 2:
+        return 0
+    migrated = 0
+    for key, kb in data.get("traffic", {}).items():
+        protocol, n = key.split(":")
+        spec = _specs("traffic", protocol, int(n), reps)[0]
+        if engine._cache_read(spec) is None:
+            engine._cache_write(spec, kb, 0.0, 0)
+            migrated += 1
+    for key, samples in data.get("latency", {}).items():
+        protocol, n, rep = key.split(":")
+        spec = PointSpec.make(protocol, "latency", int(n), 1000 * int(n) + int(rep),
+                              **PAPER.latency_point_kwargs(protocol))
+        if engine._cache_read(spec) is None:
+            engine._cache_write(spec, samples, 0.0, 0)
+            migrated += 1
+    return migrated
+
+
+def save(sweeps: dict[str, dict[str, SweepResult]]) -> None:
+    """Serialize the completed sweeps (format 2, SweepResult.to_json)."""
     RESULTS.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS.write_text(json.dumps(data, indent=1, sort_keys=True))
+    payload = {
+        kind: {protocol: sweep.to_json()
+               for protocol, sweep in by_protocol.items()}
+        for kind, by_protocol in sweeps.items()
+    }
+    payload["format"] = 2
+    payload["profile"] = PAPER.name
+    RESULTS.write_text(json.dumps(payload, indent=1, sort_keys=True))
 
 
 def main() -> int:
@@ -44,61 +91,67 @@ def main() -> int:
                         help="seconds of wall clock for this invocation")
     parser.add_argument("--reps", type=int, default=3,
                         help="latency repetitions per node count")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes per node-count group")
     args = parser.parse_args()
 
-    profile = PAPER
-    data = load()
+    engine = Engine(jobs=args.jobs, cache_dir=CACHE_DIR)
+    migrated = migrate_legacy(engine, args.reps)
+    if migrated:
+        print(f"migrated {migrated} legacy cells into {CACHE_DIR}")
+
     deadline = time.perf_counter() + args.budget
+    sweeps: dict[str, dict[str, SweepResult]] = {
+        kind: {
+            protocol: SweepResult(
+                name="PBFT" if protocol == "pbft" else "G-PBFT",
+                x_label="number of nodes", y_label=Y_LABELS[kind])
+            for protocol in ("pbft", "gpbft")
+        }
+        for kind in ("latency", "traffic")
+    }
 
-    def out_of_time() -> bool:
-        return time.perf_counter() > deadline
+    # group per (kind, protocol, n): traffic first (cheap), then latency
+    # with the cheap protocol first; --jobs parallelizes within a group.
+    groups = [("traffic", protocol, n)
+              for protocol in ("pbft", "gpbft")
+              for n in PAPER.traffic_node_counts]
+    groups += [("latency", protocol, n)
+               for protocol in ("gpbft", "pbft")
+               for n in PAPER.latency_node_counts]
 
-    # -- traffic sweeps (cheap, do first) --------------------------------
-    for protocol, fn in (("pbft", pbft_traffic_point),
-                         ("gpbft", lambda n: gpbft_traffic_point(
-                             n, max_endorsers=profile.max_endorsers))):
-        for n in profile.traffic_node_counts:
-            key = f"{protocol}:{n}"
-            if key in data["traffic"]:
-                continue
-            if out_of_time():
-                save(data)
-                print("budget exhausted (traffic)")
-                return 1
-            kb = fn(n)
-            data["traffic"][key] = kb
-            save(data)
-            print(f"traffic {key}: {kb:.1f} KB", flush=True)
+    def record(kind: str, protocol: str, n: int, specs, cached: bool) -> None:
+        started = time.perf_counter()
+        values = engine.map(specs)
+        samples: list[float] = []
+        for value in values:
+            samples.extend(value if isinstance(value, list) else [value])
+        sweeps[kind][protocol].merge_point(n, samples)
+        save(sweeps)
+        unit = "s" if kind == "latency" else "KB"
+        mean = sum(samples) / len(samples)
+        source = "cache" if cached else f"{time.perf_counter() - started:.0f}s wall"
+        print(f"{kind} {protocol}:{n}: mean {mean:.2f}{unit} ({source})",
+              flush=True)
 
-    # -- latency sweeps ----------------------------------------------------
-    for protocol in ("gpbft", "pbft"):  # cheap protocol first
-        for n in profile.latency_node_counts:
-            for rep in range(args.reps):
-                key = f"{protocol}:{n}:{rep}"
-                if key in data["latency"]:
-                    continue
-                if out_of_time():
-                    save(data)
-                    print("budget exhausted (latency)")
-                    return 1
-                seed = 1000 * n + rep
-                started = time.perf_counter()
-                if protocol == "pbft":
-                    samples = pbft_latency_point(
-                        n, seed, profile.proposal_period_s,
-                        profile.measured_txs, profile.warmup_txs)
-                else:
-                    samples = gpbft_latency_point(
-                        n, seed, profile.proposal_period_s,
-                        profile.measured_txs, profile.warmup_txs,
-                        profile.max_endorsers)
-                data["latency"][key] = samples
-                save(data)
-                mean = sum(samples) / len(samples)
-                print(f"latency {key}: mean {mean:.2f}s "
-                      f"({time.perf_counter() - started:.0f}s wall)", flush=True)
+    # merge every fully-cached group first, so a budget-exhausted run
+    # still writes out everything recorded by earlier invocations
+    pending = []
+    for kind, protocol, n in groups:
+        specs = _specs(kind, protocol, n, args.reps)
+        if all(engine._cache_read(s) is not None for s in specs):
+            record(kind, protocol, n, specs, cached=True)
+        else:
+            pending.append((kind, protocol, n, specs))
+
+    for kind, protocol, n, specs in pending:
+        if time.perf_counter() > deadline:
+            print(f"budget exhausted ({kind} {protocol}:{n})")
+            return 1
+        record(kind, protocol, n, specs, cached=False)
 
     print("complete")
+    print(engine.summary())
     return 0
 
 

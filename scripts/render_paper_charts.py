@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Render SVG charts from the recorded paper-scale results.
 
-Reads results/paper_results.json (written by record_paper_results.py)
-and produces the Figure 3/4/5/6 charts under results/charts/.
+Reads the format-2 results/paper_results.json (SweepResult.to_json
+sweeps written by record_paper_results.py) and produces the Figure
+3/4/5/6 charts under results/charts/.
 """
 
 from __future__ import annotations
@@ -19,27 +20,21 @@ OUT = ROOT / "results" / "charts"
 
 
 def build_sweeps(data: dict) -> dict[str, SweepResult]:
-    sweeps: dict[str, SweepResult] = {}
-    ns = sorted({int(k.split(":")[1]) for k in data["latency"]})
-    for protocol, label in (("pbft", "PBFT"), ("gpbft", "G-PBFT")):
-        latency = SweepResult(label, "number of nodes", "consensus latency (s)")
-        for n in ns:
-            samples = [v for key, values in data["latency"].items()
-                       for v in values
-                       if key.startswith(f"{protocol}:{n}:")]
-            if samples:
-                latency.add(n, samples)
-        sweeps[f"{protocol}_latency"] = latency
-        traffic = SweepResult(label, "number of nodes", "communication cost (KB)")
-        for n in ns:
-            kb = data["traffic"].get(f"{protocol}:{n}")
-            if kb is not None:
-                traffic.add(n, [kb])
-        sweeps[f"{protocol}_traffic"] = traffic
-    return sweeps
+    """The recorded sweeps keyed as ``{protocol}_{kind}``."""
+    if data.get("format") != 2:
+        raise SystemExit(
+            f"{RESULTS} is a legacy format-1 file; rerun "
+            "scripts/record_paper_results.py to migrate it"
+        )
+    return {
+        f"{protocol}_{kind}": SweepResult.from_json(sweep)
+        for kind in ("latency", "traffic")
+        for protocol, sweep in data[kind].items()
+    }
 
 
 def main() -> None:
+    """Render the four paper-scale charts from the recorded sweeps."""
     data = json.loads(RESULTS.read_text())
     sweeps = build_sweeps(data)
     OUT.mkdir(parents=True, exist_ok=True)

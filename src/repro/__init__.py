@@ -32,7 +32,7 @@ Quickstart::
     assert dep.nodes[0].ledger.state.get("temp") == "25C"
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "common",

@@ -5,9 +5,15 @@ Usage::
     gpbft-experiments fig3            # or: python -m repro.experiments fig3
     gpbft-experiments table3 --profile paper
     gpbft-experiments all --out results/
+    gpbft-experiments fig4 --jobs 4   # fan sweep points across 4 cores
 
 Profiles: ``quick`` (default, laptop-fast) or ``paper`` (the full
-section-V scale: 202 nodes, 10 repetitions -- takes tens of minutes).
+section-V scale: 202 nodes, 10 repetitions -- takes tens of minutes;
+``--jobs N`` divides the wall time by roughly N).
+
+Every sweep point is memoized under ``results/cache/`` keyed by its
+spec and ``repro.__version__``; ``--no-cache`` bypasses it and
+``--cache-dir`` relocates it (see docs/experiments.md).
 """
 
 from __future__ import annotations
@@ -19,20 +25,21 @@ import time
 from pathlib import Path
 
 from repro.experiments import extensions, figures, tables
+from repro.experiments.engine import DEFAULT_CACHE_DIR, Engine
 from repro.experiments.profiles import PAPER, QUICK
 
 _EXPERIMENTS = {
-    "fig3": lambda p: figures.figure3(p),
-    "fig4": lambda p: figures.figure4(p),
-    "fig5": lambda p: figures.figure5(p),
-    "fig6": lambda p: figures.figure6(p),
-    "table2": lambda p: tables.table2(),
-    "table3": lambda p: tables.table3(p),
-    "table4": lambda p: tables.table4(),
+    "fig3": lambda p, e: figures.figure3(p, engine=e),
+    "fig4": lambda p, e: figures.figure4(p, engine=e),
+    "fig5": lambda p, e: figures.figure5(p, engine=e),
+    "fig6": lambda p, e: figures.figure6(p, engine=e),
+    "table2": lambda p, e: tables.table2(),
+    "table3": lambda p, e: tables.table3(p, engine=e),
+    "table4": lambda p, e: tables.table4(engine=e),
     # extension experiments beyond the paper's evaluation
-    "throughput": lambda p: extensions.throughput_experiment(),
-    "era-churn": lambda p: extensions.era_churn_experiment(),
-    "table4-measured": lambda p: tables.table4_measured(),
+    "throughput": lambda p, e: extensions.throughput_experiment(engine=e),
+    "era-churn": lambda p, e: extensions.era_churn_experiment(engine=e),
+    "table4-measured": lambda p, e: tables.table4_measured(),
 }
 
 
@@ -65,7 +72,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to render figure experiments as SVG charts",
     )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for sweep points (1 = in-process)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk point cache (neither read nor write)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=_cache_dir,
+        default=DEFAULT_CACHE_DIR,
+        help=f"point cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
     return parser
+
+
+def _positive_int(raw: str) -> int:
+    """argparse type for ``--jobs``: an integer >= 1."""
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _cache_dir(raw: str) -> Path:
+    """argparse type for ``--cache-dir``: a non-empty path."""
+    if not raw:
+        raise argparse.ArgumentTypeError("must be a non-empty path")
+    return Path(raw)
 
 
 def _write_svgs(name: str, result, profile_name: str, out_dir: Path) -> list[Path]:
@@ -96,13 +135,15 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     profile = PAPER if args.profile == "paper" else QUICK
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    engine = Engine(jobs=args.jobs, cache_dir=args.cache_dir,
+                    use_cache=not args.no_cache)
 
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
     for name in names:
         started = time.perf_counter()
-        result = _EXPERIMENTS[name](profile)
+        result = _EXPERIMENTS[name](profile, engine)
         elapsed = time.perf_counter() - started
         print(f"\n{'=' * 72}\n{name} ({args.profile} profile, {elapsed:.1f}s)\n{'=' * 72}")
         print(result.text)
@@ -113,6 +154,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.svg is not None:
             for path in _write_svgs(name, result, args.profile, args.svg):
                 print(f"[chart written to {path}]")
+    print(f"[{engine.summary()}]")
     return 0
 
 

@@ -18,8 +18,9 @@ from repro.common.config import CommitteeConfig, EraConfig, GPBFTConfig
 from repro.common.rng import DeterministicRNG
 from repro.core.deployment import GPBFTDeployment
 from repro.core.messages import TxOperation
+from repro.experiments.engine import Engine, PointSpec
 from repro.experiments.figures import FigureResult
-from repro.experiments.runner import TX_OP_BYTES
+from repro.experiments.runner import TX_OP_BYTES, _note_events
 from repro.metrics.collector import SweepResult, render_series
 from repro.metrics.throughput import throughput_from_events
 from repro.pbft.cluster import PBFTCluster
@@ -47,6 +48,7 @@ def _pbft_tps(n: int, seed: int, offered_interval_s: float, horizon_s: float) ->
         t += offered_interval_s
         k += 1
     cluster.sim.run(until=horizon_s)
+    _note_events(cluster.sim)
     sample = throughput_from_events(cluster.events, start=horizon_s * 0.2,
                                     end=horizon_s)
     return sample.tps
@@ -67,6 +69,7 @@ def _gpbft_tps(n: int, seed: int, offered_interval_s: float, horizon_s: float,
         t += offered_interval_s
         k += 1
     dep.sim.run(until=horizon_s)
+    _note_events(dep.sim)
     sample = throughput_from_events(dep.events, start=horizon_s * 0.2,
                                     end=horizon_s)
     return sample.tps
@@ -78,6 +81,7 @@ def throughput_experiment(
     offered_interval_s: float = 2.0,
     horizon_s: float = 400.0,
     seed: int = 0,
+    engine: Engine | None = None,
 ) -> FigureResult:
     """Committed TPS vs network size under a fixed offered load.
 
@@ -85,12 +89,25 @@ def throughput_experiment(
     *falls* as the network grows; G-PBFT's committee cap keeps its TPS
     at the small-committee level.
     """
+    eng = engine if engine is not None else Engine(jobs=1, use_cache=False)
+    node_counts = list(node_counts)
+    specs = [
+        PointSpec.make("pbft", "tps", n, seed,
+                       offered_interval_s=offered_interval_s,
+                       horizon_s=horizon_s)
+        for n in node_counts
+    ] + [
+        PointSpec.make("gpbft", "tps", n, seed,
+                       offered_interval_s=offered_interval_s,
+                       horizon_s=horizon_s, max_endorsers=max_endorsers)
+        for n in node_counts
+    ]
+    values = eng.map(specs)
     pbft = SweepResult("PBFT", "number of nodes", "committed tx/s")
     gpbft = SweepResult("G-PBFT", "number of nodes", "committed tx/s")
-    for n in node_counts:
-        pbft.add(n, [_pbft_tps(n, seed, offered_interval_s, horizon_s)])
-        gpbft.add(n, [_gpbft_tps(n, seed, offered_interval_s, horizon_s,
-                                 max_endorsers)])
+    for i, n in enumerate(node_counts):
+        pbft.merge_point(n, [values[i]])
+        gpbft.merge_point(n, [values[len(node_counts) + i]])
     text = "\n\n".join([
         "Extension -- committed throughput under constant offered load "
         f"({1 / offered_interval_s:.2f} tx/s offered)",
@@ -100,11 +117,43 @@ def throughput_experiment(
     return FigureResult(figure_id="ext-throughput", series=[pbft, gpbft], text=text)
 
 
+def _era_churn_point(interval: float, horizon_s: float,
+                     offered_interval_s: float, seed: int) -> float:
+    """Mean commit latency with era switches forced every *interval* s."""
+    config = _saturating_config(seed, max_endorsers=8)
+    dep = GPBFTDeployment(n_nodes=10, n_endorsers=8, config=config,
+                          seed=seed, start_reports=False)
+
+    def reschedule(d=dep, period=interval):
+        d.force_era_switch()
+        d.sim.schedule(period, reschedule)
+
+    dep.sim.schedule(interval, reschedule)
+    t, k = 1.0, 0
+    while t < horizon_s:
+        node = dep.nodes[8 + (k % 2)]
+        tx = node.next_transaction(key=f"churn{k}", value=str(k))
+        dep.sim.schedule_at(t, node.client.submit, TxOperation(tx))
+        t += offered_interval_s
+        k += 1
+    dep.sim.run(until=horizon_s + 120.0)
+    _note_events(dep.sim)
+    latencies = [
+        e.data["latency"]
+        for e in dep.events.of_kind("request.completed")
+        if "era-switch" not in e.data["request_id"]
+    ]
+    if not latencies:
+        latencies = [float("inf")]
+    return sum(latencies) / len(latencies)
+
+
 def era_churn_experiment(
     switch_intervals=(5.0, 15.0, 60.0, 300.0),
     horizon_s: float = 300.0,
     offered_interval_s: float = 3.0,
     seed: int = 0,
+    engine: Engine | None = None,
 ) -> FigureResult:
     """Commit latency under sustained era churn.
 
@@ -114,33 +163,18 @@ def era_churn_experiment(
     too large" argument (section III-E): frequent switches interrupt
     in-flight consensus and inflate latency.
     """
+    eng = engine if engine is not None else Engine(jobs=1, use_cache=False)
+    switch_intervals = list(switch_intervals)
+    specs = [
+        PointSpec.make("gpbft", "era-churn", interval, seed,
+                       horizon_s=horizon_s,
+                       offered_interval_s=offered_interval_s)
+        for interval in switch_intervals
+    ]
+    values = eng.map(specs)
     result = SweepResult("G-PBFT", "era switch interval (s)", "mean latency (s)")
-    for interval in switch_intervals:
-        config = _saturating_config(seed, max_endorsers=8)
-        dep = GPBFTDeployment(n_nodes=10, n_endorsers=8, config=config,
-                              seed=seed, start_reports=False)
-
-        def reschedule(d=dep, period=interval):
-            d.force_era_switch()
-            d.sim.schedule(period, reschedule)
-
-        dep.sim.schedule(interval, reschedule)
-        t, k = 1.0, 0
-        while t < horizon_s:
-            node = dep.nodes[8 + (k % 2)]
-            tx = node.next_transaction(key=f"churn{k}", value=str(k))
-            dep.sim.schedule_at(t, node.client.submit, TxOperation(tx))
-            t += offered_interval_s
-            k += 1
-        dep.sim.run(until=horizon_s + 120.0)
-        latencies = [
-            e.data["latency"]
-            for e in dep.events.of_kind("request.completed")
-            if "era-switch" not in e.data["request_id"]
-        ]
-        if not latencies:
-            latencies = [float("inf")]
-        result.add(interval, [sum(latencies) / len(latencies)])
+    for interval, mean_latency in zip(switch_intervals, values):
+        result.merge_point(interval, [mean_latency])
     text = "\n\n".join([
         "Extension -- mean commit latency under sustained era churn",
         render_series(result),

@@ -8,8 +8,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.engine import Engine, PointSpec
 from repro.experiments.profiles import ExperimentProfile, active_profile
-from repro.experiments.runner import gpbft_latency_point, latency_sweep, traffic_sweep
+from repro.experiments.runner import latency_sweep, traffic_sweep
 from repro.metrics.collector import (
     SweepResult,
     render_boxplot_rows,
@@ -29,7 +30,8 @@ class FigureResult:
         return self.text
 
 
-def figure3(profile: ExperimentProfile | None = None) -> FigureResult:
+def figure3(profile: ExperimentProfile | None = None,
+            engine: Engine | None = None) -> FigureResult:
     """Fig. 3: latency boxplots per group, PBFT (a) and G-PBFT (b).
 
     The G-PBFT series additionally repeats its largest group with a
@@ -37,24 +39,24 @@ def figure3(profile: ExperimentProfile | None = None) -> FigureResult:
     circled ~+0.25 s outliers the paper explains in section V-B.
     """
     p = profile or active_profile()
+    eng = engine if engine is not None else Engine(jobs=1, use_cache=False)
     pbft = latency_sweep(
         "pbft", p.latency_node_counts, p.reps, p.proposal_period_s,
-        p.measured_txs, p.warmup_txs,
+        p.measured_txs, p.warmup_txs, engine=eng,
     )
     gpbft = latency_sweep(
         "gpbft", p.latency_node_counts, p.reps, p.proposal_period_s,
-        p.measured_txs, p.warmup_txs, p.max_endorsers,
+        p.measured_txs, p.warmup_txs, p.max_endorsers, engine=eng,
     )
     outlier_n = p.latency_node_counts[-1]
-    outlier_samples = gpbft_latency_point(
-        outlier_n,
-        seed=7777,
+    outlier_samples = eng.run(PointSpec.make(
+        "gpbft", "latency", outlier_n, seed=7777,
         proposal_period_s=p.proposal_period_s,
         measured=p.measured_txs,
         warmup=0,
         max_endorsers=p.max_endorsers,
         era_switch_at_tx=max(0, p.measured_txs // 2),
-    )
+    ))
     outliers = SweepResult(
         name="G-PBFT (era switch in window)",
         x_label="number of nodes",
@@ -74,16 +76,18 @@ def figure3(profile: ExperimentProfile | None = None) -> FigureResult:
     return FigureResult(figure_id="fig3", series=[pbft, gpbft, outliers], text=text)
 
 
-def figure4(profile: ExperimentProfile | None = None) -> FigureResult:
+def figure4(profile: ExperimentProfile | None = None,
+            engine: Engine | None = None) -> FigureResult:
     """Fig. 4: average consensus latency, PBFT vs G-PBFT."""
     p = profile or active_profile()
+    eng = engine if engine is not None else Engine(jobs=1, use_cache=False)
     pbft = latency_sweep(
         "pbft", p.latency_node_counts, p.reps, p.proposal_period_s,
-        p.measured_txs, p.warmup_txs,
+        p.measured_txs, p.warmup_txs, engine=eng,
     )
     gpbft = latency_sweep(
         "gpbft", p.latency_node_counts, p.reps, p.proposal_period_s,
-        p.measured_txs, p.warmup_txs, p.max_endorsers,
+        p.measured_txs, p.warmup_txs, p.max_endorsers, engine=eng,
     )
     n = p.latency_node_counts[-1]
     ratio = gpbft.mean_at(n) / pbft.mean_at(n)
@@ -102,11 +106,14 @@ def figure4(profile: ExperimentProfile | None = None) -> FigureResult:
     return FigureResult(figure_id="fig4", series=[pbft, gpbft], text=text)
 
 
-def figure5(profile: ExperimentProfile | None = None) -> FigureResult:
+def figure5(profile: ExperimentProfile | None = None,
+            engine: Engine | None = None) -> FigureResult:
     """Fig. 5: single-transaction communication cost sweeps."""
     p = profile or active_profile()
-    pbft = traffic_sweep("pbft", p.traffic_node_counts)
-    gpbft = traffic_sweep("gpbft", p.traffic_node_counts, p.max_endorsers)
+    eng = engine if engine is not None else Engine(jobs=1, use_cache=False)
+    pbft = traffic_sweep("pbft", p.traffic_node_counts, engine=eng)
+    gpbft = traffic_sweep("gpbft", p.traffic_node_counts, p.max_endorsers,
+                          engine=eng)
     text = "\n\n".join(
         [
             "Figure 5a -- PBFT communication cost per transaction",
@@ -119,11 +126,14 @@ def figure5(profile: ExperimentProfile | None = None) -> FigureResult:
     return FigureResult(figure_id="fig5", series=[pbft, gpbft], text=text)
 
 
-def figure6(profile: ExperimentProfile | None = None) -> FigureResult:
+def figure6(profile: ExperimentProfile | None = None,
+            engine: Engine | None = None) -> FigureResult:
     """Fig. 6: communication-cost comparison at matching node counts."""
     p = profile or active_profile()
-    pbft = traffic_sweep("pbft", p.traffic_node_counts)
-    gpbft = traffic_sweep("gpbft", p.traffic_node_counts, p.max_endorsers)
+    eng = engine if engine is not None else Engine(jobs=1, use_cache=False)
+    pbft = traffic_sweep("pbft", p.traffic_node_counts, engine=eng)
+    gpbft = traffic_sweep("gpbft", p.traffic_node_counts, p.max_endorsers,
+                          engine=eng)
     n = p.traffic_node_counts[-1]
     ratio = gpbft.mean_at(n) / pbft.mean_at(n)
     text = "\n\n".join(

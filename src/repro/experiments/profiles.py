@@ -54,6 +54,21 @@ class ExperimentProfile:
         if min(self.latency_node_counts) < 4 or min(self.traffic_node_counts) < 4:
             raise ConfigurationError("node counts must be >= 4")
 
+    def latency_point_kwargs(self, protocol: str) -> dict:
+        """Extra params a latency ``PointSpec`` carries under this profile.
+
+        These are exactly the fields that enter the engine's cache key,
+        so changing any of them invalidates previously cached points.
+        """
+        kwargs = {
+            "proposal_period_s": self.proposal_period_s,
+            "measured": self.measured_txs,
+            "warmup": self.warmup_txs,
+        }
+        if protocol == "gpbft":
+            kwargs["max_endorsers"] = self.max_endorsers
+        return kwargs
+
 
 #: Laptop-scale profile: same saturation shape, two orders less work.
 #: Utilisation at the headline point n = 52 is 2*52^2/(450*10) ~ 1.2 --

@@ -11,6 +11,7 @@ proposed and the byte counters are diffed around its consensus.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 
 from repro.common.config import CommitteeConfig, EraConfig, GPBFTConfig
@@ -18,6 +19,7 @@ from repro.common.errors import ConsensusError
 from repro.common.rng import DeterministicRNG
 from repro.core.deployment import GPBFTDeployment
 from repro.core.messages import TxOperation
+from repro.experiments.engine import Engine, PointSpec, run_point
 from repro.metrics.collector import SweepResult
 from repro.pbft.cluster import PBFTCluster
 from repro.pbft.messages import RawOperation
@@ -30,6 +32,22 @@ TX_OP_BYTES = 200
 #: is diverging (saturated queues) and its pending latencies are censored
 #: at the run horizon rather than waited for.
 MAX_EVENTS_PER_RUN = 40_000_000
+
+
+#: Simulator events processed by the most recent point in this process;
+#: read by the engine worker for per-point telemetry.
+_last_event_count = 0
+
+
+def _note_events(sim) -> None:
+    """Record *sim*'s processed-event counter for engine telemetry."""
+    global _last_event_count
+    _last_event_count = sim.events_processed
+
+
+def last_event_count() -> int:
+    """Simulator events processed by the most recent point in this process."""
+    return _last_event_count
 
 
 def _experiment_config(seed: int, max_endorsers: int) -> GPBFTConfig:
@@ -78,7 +96,7 @@ def _quorum_execution_latency(events, rid: str, submitted_at: float, f: int) -> 
     return times[f] - submitted_at
 
 
-def pbft_latency_point(
+def _pbft_latency_point(
     n: int,
     seed: int,
     proposal_period_s: float,
@@ -108,6 +126,7 @@ def pbft_latency_point(
         horizon=horizon,
         max_events=MAX_EVENTS_PER_RUN,
     )
+    _note_events(cluster.sim)
     f = (n - 1) // 3
     sample = []
     for rid, at in submissions[warmup:]:
@@ -119,7 +138,7 @@ def pbft_latency_point(
     return sample
 
 
-def gpbft_latency_point(
+def _gpbft_latency_point(
     n: int,
     seed: int,
     proposal_period_s: float,
@@ -163,6 +182,7 @@ def gpbft_latency_point(
         horizon=horizon,
         max_events=MAX_EVENTS_PER_RUN,
     )
+    _note_events(dep.sim)
     f = (min(n, max_endorsers) - 1) // 3
     sample = []
     for rid, at in submissions[warmup:]:
@@ -174,7 +194,7 @@ def gpbft_latency_point(
     return sample
 
 
-def pbft_traffic_point(n: int, seed: int = 0) -> float:
+def _pbft_traffic_point(n: int, seed: int = 0) -> float:
     """KB moved by one transaction through PBFT with *n* replicas."""
     config = _experiment_config(seed, max_endorsers=max(n, 4))
     cluster = PBFTCluster(n_replicas=n, n_clients=1, config=config)
@@ -185,12 +205,13 @@ def pbft_traffic_point(n: int, seed: int = 0) -> float:
         horizon=100_000.0,
         max_events=MAX_EVENTS_PER_RUN,
     )
+    _note_events(cluster.sim)
     if not cluster.any_client.completed:
         raise ConsensusError(f"traffic tx failed to commit at n={n}")
     return cluster.network.stats.snapshot().delta(before).kilobytes_sent
 
 
-def gpbft_traffic_point(n: int, seed: int = 0, max_endorsers: int = 40) -> float:
+def _gpbft_traffic_point(n: int, seed: int = 0, max_endorsers: int = 40) -> float:
     """KB moved by one transaction through G-PBFT with *n* nodes.
 
     Includes the full protocol surface the deployment exercises for that
@@ -213,9 +234,102 @@ def gpbft_traffic_point(n: int, seed: int = 0, max_endorsers: int = 40) -> float
         horizon=100_000.0,
         max_events=MAX_EVENTS_PER_RUN,
     )
+    _note_events(dep.sim)
     if not submitter.client.completed:
         raise ConsensusError(f"traffic tx failed to commit at n={n}")
     return dep.network.stats.snapshot().delta(before).kilobytes_sent
+
+
+# -- deprecated per-protocol wrappers ---------------------------------------
+#
+# The historical four-function surface disagreed on which of seed /
+# max_endorsers / profile fields were positional vs keyword; new code
+# should build a PointSpec and call run_point (or Engine.map).  These
+# wrappers keep one release of compatibility.
+
+
+def _deprecated(old: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; build a PointSpec and call "
+        "repro.experiments.engine.run_point instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def pbft_latency_point(
+    n: int,
+    seed: int,
+    proposal_period_s: float,
+    measured: int,
+    warmup: int,
+) -> list[float]:
+    """Deprecated wrapper for a PBFT latency :class:`PointSpec`."""
+    _deprecated("pbft_latency_point")
+    return run_point(PointSpec.make(
+        "pbft", "latency", n, seed, proposal_period_s=proposal_period_s,
+        measured=measured, warmup=warmup))
+
+
+def gpbft_latency_point(
+    n: int,
+    seed: int,
+    proposal_period_s: float,
+    measured: int,
+    warmup: int,
+    max_endorsers: int = 40,
+    era_switch_at_tx: int | None = None,
+) -> list[float]:
+    """Deprecated wrapper for a G-PBFT latency :class:`PointSpec`."""
+    _deprecated("gpbft_latency_point")
+    return run_point(PointSpec.make(
+        "gpbft", "latency", n, seed, proposal_period_s=proposal_period_s,
+        measured=measured, warmup=warmup, max_endorsers=max_endorsers,
+        era_switch_at_tx=era_switch_at_tx))
+
+
+def pbft_traffic_point(n: int, seed: int = 0) -> float:
+    """Deprecated wrapper for a PBFT traffic :class:`PointSpec`."""
+    _deprecated("pbft_traffic_point")
+    return run_point(PointSpec.make("pbft", "traffic", n, seed))
+
+
+def gpbft_traffic_point(n: int, seed: int = 0, max_endorsers: int = 40) -> float:
+    """Deprecated wrapper for a G-PBFT traffic :class:`PointSpec`."""
+    _deprecated("gpbft_traffic_point")
+    return run_point(PointSpec.make(
+        "gpbft", "traffic", n, seed, max_endorsers=max_endorsers))
+
+
+# -- sweeps -----------------------------------------------------------------
+
+
+def latency_point_specs(
+    protocol: str,
+    node_counts,
+    reps: int,
+    proposal_period_s: float,
+    measured: int,
+    warmup: int,
+    max_endorsers: int = 40,
+) -> list[PointSpec]:
+    """The latency sweep's point specs (one per ``(n, rep)`` pair)."""
+    specs = []
+    for n in node_counts:
+        for rep in range(reps):
+            seed = 1000 * n + rep
+            if protocol == "pbft":
+                specs.append(PointSpec.make(
+                    "pbft", "latency", n, seed,
+                    proposal_period_s=proposal_period_s,
+                    measured=measured, warmup=warmup))
+            else:
+                specs.append(PointSpec.make(
+                    "gpbft", "latency", n, seed,
+                    proposal_period_s=proposal_period_s,
+                    measured=measured, warmup=warmup,
+                    max_endorsers=max_endorsers))
+    return specs
 
 
 def latency_sweep(
@@ -226,30 +340,33 @@ def latency_sweep(
     measured: int,
     warmup: int,
     max_endorsers: int = 40,
+    engine: Engine | None = None,
 ) -> SweepResult:
-    """Full latency sweep for ``"pbft"`` or ``"gpbft"`` (Figures 3-4)."""
+    """Full latency sweep for ``"pbft"`` or ``"gpbft"`` (Figures 3-4).
+
+    All ``(n, rep)`` points fan out through *engine* (in-process,
+    cache-less by default), then regroup by node count; parallel
+    completion order cannot reorder the result because values come back
+    indexed by spec.
+    """
     if protocol not in ("pbft", "gpbft"):
         raise ConsensusError(f"unknown protocol {protocol!r}")
+    eng = engine if engine is not None else Engine(jobs=1, use_cache=False)
+    node_counts = list(node_counts)
+    specs = latency_point_specs(
+        protocol, node_counts, reps, proposal_period_s, measured, warmup,
+        max_endorsers)
+    values = eng.map(specs)
     result = SweepResult(
         name="PBFT" if protocol == "pbft" else "G-PBFT",
         x_label="number of nodes",
         y_label="consensus latency (s)",
     )
-    for n in node_counts:
+    for i, n in enumerate(node_counts):
         samples: list[float] = []
-        for rep in range(reps):
-            seed = 1000 * n + rep
-            if protocol == "pbft":
-                samples.extend(
-                    pbft_latency_point(n, seed, proposal_period_s, measured, warmup)
-                )
-            else:
-                samples.extend(
-                    gpbft_latency_point(
-                        n, seed, proposal_period_s, measured, warmup, max_endorsers
-                    )
-                )
-        result.add(n, samples)
+        for value in values[i * reps:(i + 1) * reps]:
+            samples.extend(value)
+        result.merge_point(n, samples)
     return result
 
 
@@ -257,19 +374,25 @@ def traffic_sweep(
     protocol: str,
     node_counts,
     max_endorsers: int = 40,
+    engine: Engine | None = None,
 ) -> SweepResult:
     """Single-transaction traffic sweep (Figures 5-6)."""
     if protocol not in ("pbft", "gpbft"):
         raise ConsensusError(f"unknown protocol {protocol!r}")
+    eng = engine if engine is not None else Engine(jobs=1, use_cache=False)
+    node_counts = list(node_counts)
+    if protocol == "pbft":
+        specs = [PointSpec.make("pbft", "traffic", n) for n in node_counts]
+    else:
+        specs = [PointSpec.make("gpbft", "traffic", n,
+                                max_endorsers=max_endorsers)
+                 for n in node_counts]
+    values = eng.map(specs)
     result = SweepResult(
         name="PBFT" if protocol == "pbft" else "G-PBFT",
         x_label="number of nodes",
         y_label="communication cost (KB)",
     )
-    for n in node_counts:
-        if protocol == "pbft":
-            kb = pbft_traffic_point(n)
-        else:
-            kb = gpbft_traffic_point(n, max_endorsers=max_endorsers)
-        result.add(n, [kb])
+    for n, kb in zip(node_counts, values):
+        result.merge_point(n, [kb])
     return result

@@ -7,13 +7,8 @@ from dataclasses import dataclass
 
 from repro.common.config import ElectionConfig
 from repro.core.election import ElectionTable
+from repro.experiments.engine import Engine, PointSpec
 from repro.experiments.profiles import ExperimentProfile, active_profile
-from repro.experiments.runner import (
-    gpbft_latency_point,
-    gpbft_traffic_point,
-    pbft_latency_point,
-    pbft_traffic_point,
-)
 from repro.geo.coords import LatLng
 from repro.geo.reports import GeoReport
 from repro.metrics.collector import render_table
@@ -73,31 +68,32 @@ PAPER_TABLE3 = {
 }
 
 
-def table3(profile: ExperimentProfile | None = None, reps: int | None = None) -> TableResult:
+def table3(profile: ExperimentProfile | None = None, reps: int | None = None,
+           engine: Engine | None = None) -> TableResult:
     """Table III: latency and cost at the headline node count.
 
     The paper's point is n = 202 (``paper`` profile); the quick profile
     evaluates its own headline point with the same machinery.
     """
     p = profile or active_profile()
+    eng = engine if engine is not None else Engine(jobs=1, use_cache=False)
     n = p.headline_n
     reps = reps if reps is not None else p.reps
-    pbft_lat: list[float] = []
-    gpbft_lat: list[float] = []
-    for rep in range(reps):
-        seed = 31_000 + rep
-        pbft_lat.extend(
-            pbft_latency_point(n, seed, p.proposal_period_s, p.measured_txs, p.warmup_txs)
-        )
-        gpbft_lat.extend(
-            gpbft_latency_point(
-                n, seed, p.proposal_period_s, p.measured_txs, p.warmup_txs, p.max_endorsers
-            )
-        )
+    specs = []
+    for protocol in ("pbft", "gpbft"):
+        for rep in range(reps):
+            specs.append(PointSpec.make(
+                protocol, "latency", n, 31_000 + rep,
+                **p.latency_point_kwargs(protocol)))
+    specs.append(PointSpec.make("pbft", "traffic", n))
+    specs.append(PointSpec.make("gpbft", "traffic", n,
+                                max_endorsers=p.max_endorsers))
+    values = eng.map(specs)
+    pbft_lat = [s for v in values[:reps] for s in v]
+    gpbft_lat = [s for v in values[reps:2 * reps] for s in v]
     pbft_mean = sum(pbft_lat) / len(pbft_lat)
     gpbft_mean = sum(gpbft_lat) / len(gpbft_lat)
-    pbft_kb = pbft_traffic_point(n)
-    gpbft_kb = gpbft_traffic_point(n, max_endorsers=p.max_endorsers)
+    pbft_kb, gpbft_kb = values[2 * reps], values[2 * reps + 1]
 
     values = {
         "n": n,
@@ -124,7 +120,7 @@ def table3(profile: ExperimentProfile | None = None, reps: int | None = None) ->
     return TableResult(table_id="table3", values=values, text=rendered)
 
 
-def table4() -> TableResult:
+def table4(engine: Engine | None = None) -> TableResult:
     """Table IV: qualitative consensus comparison with measured proxies.
 
     The qualitative rows are the paper's; the G-PBFT row's speed /
@@ -146,9 +142,12 @@ def table4() -> TableResult:
         ["G-PBFT", "Permissionless", "High", "High", "Low", "Low", "<33.3% Endorsers"],
     ]
     # measured proxies for the G-PBFT row
-    small_kb = gpbft_traffic_point(12, max_endorsers=8)
-    big_kb = gpbft_traffic_point(60, max_endorsers=8)
-    pbft_big_kb = pbft_traffic_point(60)
+    eng = engine if engine is not None else Engine(jobs=1, use_cache=False)
+    small_kb, big_kb, pbft_big_kb = eng.map([
+        PointSpec.make("gpbft", "traffic", 12, max_endorsers=8),
+        PointSpec.make("gpbft", "traffic", 60, max_endorsers=8),
+        PointSpec.make("pbft", "traffic", 60),
+    ])
     values = {
         "gpbft_cost_growth": big_kb / small_kb,
         "gpbft_vs_pbft_cost": big_kb / pbft_big_kb,

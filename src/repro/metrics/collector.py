@@ -8,6 +8,7 @@ comparisons, ASCII bar series for the figures.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigurationError
@@ -29,6 +30,16 @@ class SweepPoint:
     def mean(self) -> float:
         """Sample mean (the line plotted in Figures 4 and 6)."""
         return sum(self.samples) / len(self.samples)
+
+    def to_json(self) -> dict:
+        """Plain-JSON form (inverse of :meth:`from_json`)."""
+        return {"x": self.x, "samples": list(self.samples)}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SweepPoint":
+        """Rebuild a point from :meth:`to_json` output."""
+        return cls(x=float(data["x"]),
+                   samples=tuple(float(s) for s in data["samples"]))
 
 
 @dataclass
@@ -61,6 +72,47 @@ class SweepResult:
         point = SweepPoint(x=float(x), samples=samples)
         self.points.append(point)
         return point
+
+    def merge_point(self, x: float, samples) -> SweepPoint:
+        """Insert one sweep point, keeping ``points`` ascending in x.
+
+        Unlike :meth:`add` this tolerates out-of-order arrival (parallel
+        sweep points complete in whatever order the pool schedules them).
+
+        Raises:
+            ConfigurationError: on empty samples or a duplicate x.
+        """
+        samples = tuple(float(s) for s in samples)
+        if not samples:
+            raise ConfigurationError(f"no samples at x={x}")
+        x = float(x)
+        if any(p.x == x for p in self.points):
+            raise ConfigurationError(f"duplicate sweep point at x={x}")
+        point = SweepPoint(x=x, samples=samples)
+        bisect.insort(self.points, point, key=lambda p: p.x)
+        return point
+
+    def to_json(self) -> dict:
+        """Plain-JSON form of the whole sweep (inverse of :meth:`from_json`).
+
+        Used by the experiment engine's on-disk cache and by
+        ``scripts/record_paper_results.py``.
+        """
+        return {
+            "name": self.name,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "points": [p.to_json() for p in self.points],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SweepResult":
+        """Rebuild a sweep from :meth:`to_json` output."""
+        result = cls(name=data["name"], x_label=data["x_label"],
+                     y_label=data["y_label"])
+        for point in data["points"]:
+            result.merge_point(point["x"], point["samples"])
+        return result
 
     def mean_at(self, x: float) -> float:
         """Mean of the point at *x*.

@@ -24,6 +24,19 @@ class TestParser:
         args = build_parser().parse_args(["table2"])
         assert args.profile == "paper"
 
+    def test_engine_flag_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.jobs == 1
+        assert args.no_cache is False
+        assert str(args.cache_dir).endswith("cache")
+
+    def test_engine_flags_parsed(self, tmp_path):
+        args = build_parser().parse_args(
+            ["fig4", "--jobs", "4", "--no-cache", "--cache-dir", str(tmp_path)])
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.cache_dir == tmp_path
+
 
 class TestMain:
     def test_table2_runs_and_prints(self, capsys):
@@ -42,6 +55,19 @@ class TestMain:
         assert main(["table4"]) == 0
         out = capsys.readouterr().out
         assert "G-PBFT" in out and "PoW" in out
+
+    def test_cache_summary_line_printed(self, tmp_path, capsys):
+        argv = ["table4", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "cache hits" in cold and "misses" in cold
+        assert main(argv) == 0  # second run: everything from cache
+        warm = capsys.readouterr().out
+        assert "(3 cache hits, 0 misses)" in warm
+
+    def test_no_cache_writes_nothing(self, tmp_path, capsys):
+        assert main(["table4", "--no-cache", "--cache-dir", str(tmp_path)]) == 0
+        assert list(tmp_path.iterdir()) == []
 
 
 class TestSvgOutput:

@@ -9,17 +9,23 @@ live in ``benchmarks/``.
 import pytest
 
 from repro.common.errors import ConfigurationError, ConsensusError
+from repro.experiments.engine import PointSpec, run_point
 from repro.experiments.profiles import PAPER, QUICK, active_profile
-from repro.experiments.runner import (
-    gpbft_latency_point,
-    gpbft_traffic_point,
-    latency_sweep,
-    pbft_latency_point,
-    pbft_traffic_point,
-    traffic_sweep,
-)
+from repro.experiments.runner import latency_sweep, traffic_sweep
 from repro.experiments.tables import table2
 from repro.analysis.models import pbft_traffic_bytes
+
+
+def _latency(protocol, n, seed, period, measured, warmup, **params):
+    """One latency point through the unified dispatch."""
+    return run_point(PointSpec.make(
+        protocol, "latency", n, seed, proposal_period_s=period,
+        measured=measured, warmup=warmup, **params))
+
+
+def _traffic(protocol, n, **params):
+    """One traffic point through the unified dispatch."""
+    return run_point(PointSpec.make(protocol, "traffic", n, **params))
 
 
 class TestProfiles:
@@ -45,54 +51,53 @@ class TestProfiles:
 
 class TestLatencyPoints:
     def test_pbft_point_returns_measured_count(self):
-        lat = pbft_latency_point(4, seed=1, proposal_period_s=600.0,
-                                 measured=3, warmup=1)
+        lat = _latency("pbft", 4, 1, 600.0, measured=3, warmup=1)
         assert len(lat) == 3
         assert all(x > 0 for x in lat)
 
     def test_pbft_latency_grows_with_n(self):
-        small = pbft_latency_point(4, 1, 600.0, 2, 1)
-        big = pbft_latency_point(16, 1, 600.0, 2, 1)
+        small = _latency("pbft", 4, 1, 600.0, 2, 1)
+        big = _latency("pbft", 16, 1, 600.0, 2, 1)
         assert sum(big) / len(big) > sum(small) / len(small)
 
     def test_gpbft_point_capped_committee(self):
-        lat_small = gpbft_latency_point(8, 1, 600.0, 2, 1, max_endorsers=8)
-        lat_big = gpbft_latency_point(24, 1, 600.0, 2, 1, max_endorsers=8)
+        lat_small = _latency("gpbft", 8, 1, 600.0, 2, 1, max_endorsers=8)
+        lat_big = _latency("gpbft", 24, 1, 600.0, 2, 1, max_endorsers=8)
         # 3x the nodes, same committee: similar latency
         mean_small = sum(lat_small) / len(lat_small)
         mean_big = sum(lat_big) / len(lat_big)
         assert mean_big < mean_small * 1.6
 
     def test_era_switch_produces_outlier(self):
-        plain = gpbft_latency_point(12, 3, 600.0, 4, 0, max_endorsers=8)
-        bumped = gpbft_latency_point(12, 3, 600.0, 4, 0, max_endorsers=8,
-                                     era_switch_at_tx=2)
+        plain = _latency("gpbft", 12, 3, 600.0, 4, 0, max_endorsers=8)
+        bumped = _latency("gpbft", 12, 3, 600.0, 4, 0, max_endorsers=8,
+                          era_switch_at_tx=2)
         assert max(bumped) > max(plain)
 
     def test_deterministic_given_seed(self):
-        a = pbft_latency_point(4, 7, 600.0, 2, 1)
-        b = pbft_latency_point(4, 7, 600.0, 2, 1)
+        a = _latency("pbft", 4, 7, 600.0, 2, 1)
+        b = _latency("pbft", 4, 7, 600.0, 2, 1)
         assert a == b
 
 
 class TestTrafficPoints:
     def test_pbft_traffic_matches_closed_form(self):
-        measured_kb = pbft_traffic_point(10)
+        measured_kb = _traffic("pbft", 10)
         predicted_kb = pbft_traffic_bytes(10) / 1024
         assert measured_kb == pytest.approx(predicted_kb, rel=0.15)
 
     def test_pbft_traffic_quadratic_growth(self):
-        kb4 = pbft_traffic_point(4)
-        kb16 = pbft_traffic_point(16)
+        kb4 = _traffic("pbft", 4)
+        kb16 = _traffic("pbft", 16)
         assert kb16 / kb4 > 8  # ~ (16/4)^2 with lower-order terms
 
     def test_gpbft_traffic_bounded_by_committee(self):
-        kb_small = gpbft_traffic_point(10, max_endorsers=8)
-        kb_big = gpbft_traffic_point(40, max_endorsers=8)
+        kb_small = _traffic("gpbft", 10, max_endorsers=8)
+        kb_big = _traffic("gpbft", 40, max_endorsers=8)
         assert kb_big < kb_small * 1.5
 
     def test_gpbft_cheaper_than_pbft_past_cap(self):
-        assert gpbft_traffic_point(30, max_endorsers=8) < pbft_traffic_point(30) / 4
+        assert _traffic("gpbft", 30, max_endorsers=8) < _traffic("pbft", 30) / 4
 
 
 class TestSweeps:

@@ -163,12 +163,13 @@ class TestAnalysisModels:
 
     def test_loaded_latency_tracks_simulation(self):
         from repro.analysis.models import predicted_loaded_latency
-        from repro.experiments.runner import pbft_latency_point
+        from repro.experiments.engine import PointSpec, run_point
 
         # mid-utilisation point: model within ~2x of measurement
         n, R = 40, 1200.0
-        measured = pbft_latency_point(n, seed=2, proposal_period_s=R,
-                                      measured=4, warmup=2)
+        measured = run_point(PointSpec.make(
+            "pbft", "latency", n, seed=2, proposal_period_s=R,
+            measured=4, warmup=2))
         mean = sum(measured) / len(measured)
         predicted = predicted_loaded_latency(n, 10.0, R, propagation_s=0.0125)
         assert 0.4 < mean / predicted < 2.5
