@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench sweep-smoke figures figures-paper charts examples clean
+.PHONY: install test lint bench sweep-smoke verify-smoke figures figures-paper charts examples clean
 
 install:
 	pip install -e ".[dev]"
@@ -22,6 +22,17 @@ bench:
 sweep-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_engine.py -m sweep_smoke -q
 	PYTHONPATH=src $(PYTHON) scripts/check_docstrings.py
+
+# bounded schedule exploration under full invariant monitoring: a few
+# seeded fault schedules per protocol, fanned over 2 workers; exits
+# non-zero (and writes a shrunk repro artifact) on any safety violation
+verify-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments verify \
+		--protocol pbft --n 4 --seeds 3 --submissions 3 --horizon 60 \
+		--jobs 2 --out results/repro
+	PYTHONPATH=src $(PYTHON) -m repro.experiments verify \
+		--protocol gpbft --n 6 --seeds 2 --submissions 2 --horizon 90 \
+		--out results/repro
 
 # every table and figure, quick profile, text + SVG under results/
 figures:

@@ -220,6 +220,31 @@ class IncentiveConfig:
 
 
 @dataclass(frozen=True)
+class VerifyConfig:
+    """Runtime invariant monitoring (``repro.verify``), opt-in.
+
+    Attributes:
+        monitors: when True, every :class:`~repro.pbft.cluster.PBFTCluster`
+            and :class:`~repro.core.deployment.GPBFTDeployment` built from
+            this config attaches the standard safety monitors (prefix
+            consistency, quorum certificates, view-change monotonicity,
+            era-switch atomicity, Sybil-cap accounting) to its event log
+            and raises :class:`~repro.verify.invariants.InvariantViolation`
+            the moment one is breached.  Off by default: the monitored
+            path costs extra work per protocol event, and perf sweeps
+            must measure the unmonitored system.
+        trace_window: number of most-recent events attached to a
+            violation as its offending trace window.
+    """
+
+    monitors: bool = False
+    trace_window: int = 256
+
+    def __post_init__(self) -> None:
+        _require(self.trace_window >= 1, "trace_window must be >= 1")
+
+
+@dataclass(frozen=True)
 class GPBFTConfig:
     """Top-level configuration bundling every subsystem's parameters."""
 
@@ -229,6 +254,7 @@ class GPBFTConfig:
     election: ElectionConfig = field(default_factory=ElectionConfig)
     era: EraConfig = field(default_factory=EraConfig)
     incentive: IncentiveConfig = field(default_factory=IncentiveConfig)
+    verify: VerifyConfig = field(default_factory=VerifyConfig)
 
     def replace(self, **overrides: object) -> "GPBFTConfig":
         """Return a copy with top-level sections replaced.

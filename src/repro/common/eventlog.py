@@ -36,17 +36,37 @@ class EventLog:
     Events must be appended in non-decreasing time order, which the
     discrete-event simulator guarantees; the log enforces it so that a
     scheduling bug surfaces here rather than as a corrupted experiment.
+
+    Live consumers (e.g. the invariant monitors of ``repro.verify``) can
+    :meth:`subscribe` a callback that fires synchronously on every
+    append; with no subscribers the append hot path pays one truthiness
+    check.
     """
 
     def __init__(self) -> None:
         self._events: list[Event] = []
         self._counts: dict[str, int] = {}
+        self._subscribers: list[Callable[[Event], None]] = []
 
     def __len__(self) -> int:
         return len(self._events)
 
     def __iter__(self) -> Iterator[Event]:
         return iter(self._events)
+
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        """Call *callback(event)* synchronously on every future append.
+
+        Callbacks run inside :meth:`append`, after the event is stored,
+        so a subscriber that raises aborts the appending simulation step
+        with full context -- exactly what invariant monitors want.
+        """
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[Event], None]) -> None:
+        """Detach a previously subscribed callback (idempotent)."""
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
 
     def append(self, event: Event) -> None:
         """Record *event*; raises ValueError on a time regression."""
@@ -57,6 +77,9 @@ class EventLog:
             )
         self._events.append(event)
         self._counts[event.kind] = self._counts.get(event.kind, 0) + 1
+        if self._subscribers:
+            for callback in self._subscribers:
+                callback(event)
 
     def count(self, kind: str) -> int:
         """O(1) count of events of *kind* (hot-loop friendly)."""

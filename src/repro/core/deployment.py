@@ -87,6 +87,11 @@ class GPBFTDeployment:
         self.events = EventLog()
         self.region = region
         self.mode = mode
+        self.monitors = None
+        if self.config.verify.monitors:
+            from repro.verify.invariants import MonitorHarness
+
+            self.monitors = MonitorHarness(self, self.config.verify)
 
         # -- placement -------------------------------------------------------
         placement = self.rng.fork("placement")

@@ -93,6 +93,31 @@ class EraHistory:
         self._switching_since = None
         return record
 
+    def validate(self) -> None:
+        """Check the recorded timeline's structural invariants.
+
+        The era-switch-atomicity monitor calls this after every
+        completed switch: eras must number consecutively, each switch
+        period must close before its era starts, and consecutive eras
+        must never overlap.  These can only break if the bookkeeping
+        itself is buggy, which is exactly what a monitor should surface.
+
+        Raises:
+            EraSwitchError: on any timeline inconsistency.
+        """
+        for prev, cur in zip(self._records, self._records[1:]):
+            if cur.era != prev.era + 1:
+                raise EraSwitchError(
+                    f"era numbering gap: {prev.era} followed by {cur.era}")
+            if cur.switch_started_at < prev.started_at:
+                raise EraSwitchError(
+                    f"era {cur.era} switch began at {cur.switch_started_at}, "
+                    f"before era {prev.era} started at {prev.started_at}")
+            if cur.started_at < cur.switch_started_at:
+                raise EraSwitchError(
+                    f"era {cur.era} started at {cur.started_at}, before its "
+                    f"switch began at {cur.switch_started_at}")
+
     def switch_periods(self) -> list[tuple[float, float]]:
         """(start, end) of every completed switch period."""
         return [

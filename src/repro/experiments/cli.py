@@ -131,7 +131,18 @@ def _write_svgs(name: str, result, profile_name: str, out_dir: Path) -> list[Pat
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Run the selected experiment(s); returns a process exit code."""
+    """Run the selected experiment(s); returns a process exit code.
+
+    The ``verify`` subcommand (schedule exploration / artifact replay)
+    is routed to :func:`repro.verify.cli.main` before experiment
+    parsing -- see ``gpbft-experiments verify --help``.
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "verify":
+        from repro.verify.cli import main as verify_main
+
+        return verify_main(argv[1:])
     args = build_parser().parse_args(argv)
     profile = PAPER if args.profile == "paper" else QUICK
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]

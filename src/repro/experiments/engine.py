@@ -33,7 +33,7 @@ from repro.common.errors import ConfigurationError
 DEFAULT_CACHE_DIR = Path("results") / "cache"
 
 #: Point kinds understood by :func:`run_point`.
-POINT_KINDS = ("latency", "traffic", "tps", "era-churn")
+POINT_KINDS = ("latency", "traffic", "tps", "era-churn", "verify")
 
 #: Protocols understood by :func:`run_point` (era-churn is G-PBFT only).
 PROTOCOLS = ("pbft", "gpbft")
@@ -110,7 +110,7 @@ class PointSpec:
         return f"{self.protocol}-{self.kind}-x{self.x:g}-s{self.seed}-{digest}"
 
 
-def run_point(spec: PointSpec) -> float | list[float]:
+def run_point(spec: PointSpec) -> float | list[float] | dict:
     """Run one experiment point; the single dispatch behind every sweep.
 
     Replaces the four historical entry points (``pbft_latency_point`` /
@@ -120,13 +120,15 @@ def run_point(spec: PointSpec) -> float | list[float]:
 
     Returns:
         A list of per-transaction samples for latency points, a single
-        float for traffic (KB), tps (tx/s) and era-churn (s) points.
+        float for traffic (KB), tps (tx/s) and era-churn (s) points,
+        and a result dict for verify (monitored schedule) points.
 
     Raises:
         ConfigurationError: when the (protocol, kind) pair is unknown.
     """
-    # imported lazily: runner/extensions import this module for Engine
+    # imported lazily: runner/extensions/verify import this module for Engine
     from repro.experiments import extensions, runner
+    from repro.verify import explorer as verify_explorer
 
     n, kwargs = int(spec.x), spec.kwargs()
     dispatch = {
@@ -144,6 +146,10 @@ def run_point(spec: PointSpec) -> float | list[float]:
             n, spec.seed, **kwargs),
         ("gpbft", "era-churn"): lambda: extensions._era_churn_point(
             spec.x, seed=spec.seed, **kwargs),
+        ("pbft", "verify"): lambda: verify_explorer._verify_point(
+            n, spec.seed, **kwargs),
+        ("gpbft", "verify"): lambda: verify_explorer._verify_point(
+            n, spec.seed, **kwargs),
     }
     try:
         impl = dispatch[(spec.protocol, spec.kind)]
@@ -155,7 +161,7 @@ def run_point(spec: PointSpec) -> float | list[float]:
     return impl()
 
 
-def _execute_point(spec: PointSpec) -> tuple[float | list[float], float, int]:
+def _execute_point(spec: PointSpec) -> tuple[float | list[float] | dict, float, int]:
     """Worker body: run a point and report (value, wall_s, sim events).
 
     Top-level so it pickles into :class:`ProcessPoolExecutor` workers.

@@ -248,7 +248,15 @@ def _gpbft_traffic_point(n: int, seed: int = 0, max_endorsers: int = 40) -> floa
 # wrappers keep one release of compatibility.
 
 
+#: Wrapper names that already warned this process (each warns once --
+#: a sweep calling a wrapper per point must not flood the log).
+_deprecation_warned: set[str] = set()
+
+
 def _deprecated(old: str) -> None:
+    if old in _deprecation_warned:
+        return
+    _deprecation_warned.add(old)
     warnings.warn(
         f"{old} is deprecated; build a PointSpec and call "
         "repro.experiments.engine.run_point instead",

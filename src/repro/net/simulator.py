@@ -52,6 +52,7 @@ class Simulator:
         self._heap: list[tuple[float, int, ScheduledEvent]] = []
         self._counter = itertools.count()
         self._events_processed = 0
+        self._step_hook: Callable[[ScheduledEvent], None] | None = None
 
     @property
     def now(self) -> float:
@@ -86,6 +87,17 @@ class Simulator:
         heapq.heappush(self._heap, (event.time, event.seq, event))
         return event
 
+    def set_step_hook(self, hook: Callable[[ScheduledEvent], None] | None) -> None:
+        """Observe every fired event (``None`` detaches).
+
+        The hook runs just before each event's callback, receiving the
+        :class:`ScheduledEvent` about to fire.  ``repro.verify`` uses it
+        to fingerprint the executed schedule so a replayed run can prove
+        it followed the exact event order of the original.  With no hook
+        installed the event loop pays a single ``None`` check per event.
+        """
+        self._step_hook = hook
+
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
         while self._heap:
@@ -94,6 +106,8 @@ class Simulator:
                 continue
             self._now = event.time
             self._events_processed += 1
+            if self._step_hook is not None:
+                self._step_hook(event)
             event.callback(*event.args)
             return True
         return False

@@ -74,6 +74,11 @@ class PBFTCluster:
         self.network = SimulatedNetwork(self.sim, self.config.network)
         self.events = EventLog()
         self.committee = tuple(range(n_replicas))
+        self.monitors = None
+        if self.config.verify.monitors:
+            from repro.verify.invariants import MonitorHarness
+
+            self.monitors = MonitorHarness(self, self.config.verify)
         faults = faults or {}
 
         self.executors: dict[int, _ExecutedLog] = {}

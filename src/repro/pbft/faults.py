@@ -30,6 +30,17 @@ class FaultModel:
         """Optionally corrupt a digest on a per-destination basis."""
         return digest
 
+    def quorum_skew(self, phase: str) -> int:
+        """Votes added to (or, negative, shaved off) a quorum threshold.
+
+        Consulted once at replica construction for *phase* in
+        ``("prepare", "commit")``.  Honest replicas return 0; the
+        mutation self-tests of ``repro.verify`` return a negative skew
+        to plant a deliberate quorum-counting bug that the invariant
+        monitors must catch.
+        """
+        return 0
+
 
 class HonestFaults(FaultModel):
     """Explicit alias for the no-fault behaviour."""
@@ -72,6 +83,31 @@ class MuteFaults(FaultModel):
     def suppress_send(self, kind: str) -> bool:
         """Withhold matching outgoing messages."""
         return True
+
+
+class QuorumUndercountFaults(FaultModel):
+    """Deliberate quorum-counting bug (a *mutation*, not an attack).
+
+    A replica with this model treats ``2f+1 + skew`` votes as a full
+    quorum -- with the default skew of -2 it declares *prepared* /
+    *committed-local* two votes early, exactly the class of
+    off-by-a-vote bug a refactor of the counting logic could introduce.
+    ``repro.verify``'s mutation self-test installs it and asserts that
+    the quorum-certificate monitor flags the premature execution and
+    that the schedule explorer finds and shrinks a failing schedule.
+
+    Args:
+        skew: signed vote offset applied to both phase thresholds.
+    """
+
+    def __init__(self, skew: int = -2) -> None:
+        if skew >= 0:
+            raise ConsensusError("an undercount skew must be negative")
+        self.skew = skew
+
+    def quorum_skew(self, phase: str) -> int:
+        """Shave ``|skew|`` votes off both quorum thresholds."""
+        return self.skew
 
 
 class SelectiveDropFaults(FaultModel):

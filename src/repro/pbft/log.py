@@ -43,14 +43,27 @@ class MessageLog:
     Args:
         n: committee size.
         replica_id: owner's node id (its own prepares/commits count).
+        prepare_quorum: votes required by :meth:`prepared`; defaults to
+            the protocol-correct ``2f+1`` (pre-prepare included).  Only
+            fault models override it (see
+            :meth:`~repro.pbft.faults.FaultModel.quorum_skew`).
+        commit_quorum: votes required by :meth:`committed_local`;
+            defaults to ``2f+1``.
     """
 
-    def __init__(self, n: int, replica_id: int) -> None:
+    def __init__(self, n: int, replica_id: int,
+                 prepare_quorum: int | None = None,
+                 commit_quorum: int | None = None) -> None:
         if n < 4:
             raise ConsensusError(f"PBFT needs n >= 4 replicas, got {n}")
         self.n = n
         self.f = (n - 1) // 3
         self.replica_id = replica_id
+        default_quorum = 2 * self.f + 1
+        self.prepare_quorum = max(
+            1, default_quorum if prepare_quorum is None else prepare_quorum)
+        self.commit_quorum = max(
+            1, default_quorum if commit_quorum is None else commit_quorum)
         self._instances: dict[tuple[int, int], InstanceState] = {}
         # digests seen per (view, seq) to detect primary equivocation
         self._conflicts: list[tuple[int, int, bytes, bytes]] = []
@@ -128,14 +141,14 @@ class MessageLog:
         state = self._instances.get((view, seq))
         if state is None or state.pre_prepare is None:
             return False
-        return len(state.prepares) >= 2 * self.f + 1  # incl. primary's
+        return len(state.prepares) >= self.prepare_quorum  # incl. primary's
 
     def committed_local(self, view: int, seq: int) -> bool:
         """*committed-local*: prepared plus 2f+1 matching commits."""
         if not self.prepared(view, seq):
             return False
         state = self._instances[(view, seq)]
-        return len(state.commits) >= 2 * self.f + 1
+        return len(state.commits) >= self.commit_quorum
 
     # -- view change support -------------------------------------------------
 

@@ -113,7 +113,14 @@ class PBFTReplica:
         self.f = (self.n - 1) // 3
         self.view = 0
         self.next_seq = 1
-        self.log = MessageLog(self.n, node_id)
+        # quorum thresholds resolved once: honest models skew by 0, so
+        # the hot-path predicates stay plain integer comparisons
+        quorum = 2 * self.f + 1
+        self.log = MessageLog(
+            self.n, node_id,
+            prepare_quorum=quorum + self.faults.quorum_skew("prepare"),
+            commit_quorum=quorum + self.faults.quorum_skew("commit"),
+        )
         self.last_executed = 0
         self.stable_seq = 0
         self.stopped = False
@@ -402,7 +409,13 @@ class PBFTReplica:
             # consume the sequence number without re-running the operation
             return
         result = self._executor(request.op, seq, state.view)
-        self._record("pbft.executed", seq=seq, view=state.view, request_id=rid)
+        # vote counts ride on the event so quorum-certificate monitors
+        # can audit the execution without reaching into the log
+        self._record(
+            "pbft.executed", seq=seq, view=state.view, request_id=rid,
+            epoch=self.epoch, prepares=len(state.prepares),
+            commits=len(state.commits),
+        )
         reply = Reply(
             view=state.view,
             timestamp=request.timestamp,
@@ -531,7 +544,7 @@ class PBFTReplica:
             sender=self.node_id,
             epoch=self.epoch,
         )
-        self._record("pbft.view_change", new_view=new_view)
+        self._record("pbft.view_change", new_view=new_view, epoch=self.epoch)
         if self._view_change_timer is not None:
             self._view_change_timer.cancel()
         self._view_change_timer = self.sim.schedule(
@@ -657,7 +670,7 @@ class PBFTReplica:
         self._view_change_votes = {
             v: votes for v, votes in self._view_change_votes.items() if v > new_view
         }
-        self._record("pbft.entered_view", view=new_view)
+        self._record("pbft.entered_view", view=new_view, epoch=self.epoch)
         # replay protocol messages that arrived before we entered the view
         for view in sorted(v for v in self._future_messages if v <= new_view):
             for msg in self._future_messages.pop(view):

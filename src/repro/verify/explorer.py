@@ -1,0 +1,662 @@
+"""Seeded schedule exploration: hunt for invariant violations.
+
+The explorer turns "does a bug exist?" into a parallel search problem.
+Each :class:`Schedule` is a fully deterministic recipe for one
+monitored simulation: protocol, committee size, seed, workload, optional
+planted faults, and a set of message-level / node-level perturbations
+(crashes, partitions, probabilistic drops, delay-reorders).  Schedules
+fan out across the existing :class:`~repro.experiments.engine.Engine`
+process pool as ``verify`` points; a schedule whose run raises an
+:class:`~repro.verify.invariants.InvariantViolation` is recorded as a
+JSON repro artifact and greedily shrunk to a minimal failing schedule
+(fewer perturbations, fewer submissions) that still trips the same
+monitor.
+
+Every run also computes a *schedule fingerprint* -- a rolling hash over
+the exact (time, callback) stream the simulator executed -- so
+:mod:`repro.verify.replay` can prove that a replayed artifact followed
+the original event order bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from functools import partial
+from pathlib import Path
+
+import repro
+from repro.common.config import GPBFTConfig, VerifyConfig
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRNG
+from repro.core.deployment import GPBFTDeployment
+from repro.experiments.engine import Engine, PointSpec
+from repro.net.network import SimulatedNetwork
+from repro.net.tracer import MessageTracer
+from repro.pbft.cluster import PBFTCluster
+from repro.pbft.faults import (
+    CrashFaults,
+    EquivocatingFaults,
+    MuteFaults,
+    QuorumUndercountFaults,
+)
+from repro.pbft.messages import RawOperation
+from repro.verify.invariants import InvariantViolation
+
+#: Default directory for failing-schedule repro artifacts.
+DEFAULT_ARTIFACT_DIR = Path("results") / "repro"
+
+#: Artifact format tag (checked by :mod:`repro.verify.replay`).
+ARTIFACT_FORMAT = "repro.verify/schedule-artifact"
+
+#: Named fault models a schedule may plant on a node.
+FAULT_REGISTRY = {
+    "quorum_undercount": QuorumUndercountFaults,
+    "crash": partial(CrashFaults, True),
+    "mute": MuteFaults,
+    "equivocate": EquivocatingFaults,
+}
+
+#: Perturbation operations a schedule may contain.
+PERTURBATION_OPS = ("crash", "partition", "drop", "delay")
+
+#: Serialized payload bytes of explorer-submitted operations.
+_TX_BYTES = 200
+
+#: Safety cap on simulator events per schedule run.
+MAX_EVENTS_PER_SCHEDULE = 5_000_000
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """One scheduled disturbance inside a run.
+
+    Attributes:
+        op: ``"crash"`` (node offline), ``"partition"`` (listed nodes
+            split from the rest), ``"drop"`` (iid message drops), or
+            ``"delay"`` (messages held back ``extra_s``, reordering
+            them past later traffic).
+        at: window start (simulated seconds).
+        until: window end; crashes recover and partitions heal here.
+        node: target node for ``crash``.
+        nodes: the isolated group for ``partition``.
+        p: per-message probability for ``drop`` / ``delay``.
+        extra_s: added holding delay for ``delay``.
+    """
+
+    op: str
+    at: float
+    until: float = 0.0
+    node: int = -1
+    nodes: tuple[int, ...] = ()
+    p: float = 0.0
+    extra_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op not in PERTURBATION_OPS:
+            raise ConfigurationError(f"unknown perturbation op {self.op!r}")
+        if self.at < 0 or self.until < self.at:
+            raise ConfigurationError(
+                f"perturbation window [{self.at}, {self.until}) is invalid")
+
+    def to_json(self) -> dict:
+        """Plain-JSON form (inverse of :meth:`from_json`)."""
+        return {
+            "op": self.op, "at": self.at, "until": self.until,
+            "node": self.node, "nodes": list(self.nodes),
+            "p": self.p, "extra_s": self.extra_s,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Perturbation":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(
+            op=data["op"], at=data["at"], until=data.get("until", 0.0),
+            node=data.get("node", -1), nodes=tuple(data.get("nodes", ())),
+            p=data.get("p", 0.0), extra_s=data.get("extra_s", 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A fully deterministic recipe for one monitored simulation run.
+
+    Attributes:
+        protocol: ``"pbft"`` or ``"gpbft"``.
+        n: committee / deployment size.
+        seed: root of every random stream in the run.
+        submissions: transactions submitted (one every 0.75 s from
+            ``t = 1``).
+        horizon_s: simulated seconds to run.
+        era_switch_at: when set (G-PBFT only), force an era switch at
+            this time.
+        perturbations: disturbances applied during the run.
+        faults: planted fault models as ``(node_id, registry_name)``
+            pairs (see :data:`FAULT_REGISTRY`).
+    """
+
+    protocol: str = "pbft"
+    n: int = 4
+    seed: int = 0
+    submissions: int = 5
+    horizon_s: float = 90.0
+    era_switch_at: float | None = None
+    perturbations: tuple[Perturbation, ...] = ()
+    faults: tuple[tuple[int, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.protocol not in ("pbft", "gpbft"):
+            raise ConfigurationError(f"unknown protocol {self.protocol!r}")
+        if self.n < 4:
+            raise ConfigurationError("schedules need n >= 4")
+        if self.submissions < 1:
+            raise ConfigurationError("schedules need >= 1 submission")
+        if self.horizon_s <= 0:
+            raise ConfigurationError("horizon_s must be positive")
+        if self.era_switch_at is not None and self.protocol != "gpbft":
+            raise ConfigurationError("era_switch_at requires protocol gpbft")
+        for _node, name in self.faults:
+            if name not in FAULT_REGISTRY:
+                raise ConfigurationError(f"unknown fault model {name!r}")
+
+    def to_json(self) -> dict:
+        """Plain-JSON form (inverse of :meth:`from_json`)."""
+        return {
+            "protocol": self.protocol, "n": self.n, "seed": self.seed,
+            "submissions": self.submissions, "horizon_s": self.horizon_s,
+            "era_switch_at": self.era_switch_at,
+            "perturbations": [p.to_json() for p in self.perturbations],
+            "faults": [[node, name] for node, name in self.faults],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Schedule":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(
+            protocol=data["protocol"], n=data["n"], seed=data["seed"],
+            submissions=data["submissions"], horizon_s=data["horizon_s"],
+            era_switch_at=data.get("era_switch_at"),
+            perturbations=tuple(
+                Perturbation.from_json(p) for p in data.get("perturbations", ())),
+            faults=tuple((node, name) for node, name in data.get("faults", ())),
+        )
+
+    def canonical_json(self) -> str:
+        """Canonical string form, used as the engine cache/param key."""
+        return json.dumps(self.to_json(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def without_perturbation(self, index: int) -> "Schedule":
+        """Copy with perturbation *index* removed (shrink move)."""
+        kept = tuple(p for i, p in enumerate(self.perturbations) if i != index)
+        return dataclasses.replace(self, perturbations=kept)
+
+    def without_fault(self, index: int) -> "Schedule":
+        """Copy with planted fault *index* removed (shrink move)."""
+        kept = tuple(f for i, f in enumerate(self.faults) if i != index)
+        return dataclasses.replace(self, faults=kept)
+
+    def with_submissions(self, submissions: int) -> "Schedule":
+        """Copy with a smaller workload (shrink move)."""
+        return dataclasses.replace(self, submissions=max(1, submissions))
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of one schedule run (JSON-able; engine cache value).
+
+    Attributes:
+        ok: True iff no monitor fired.
+        violation: :meth:`InvariantViolation.to_json` payload, or None.
+        fingerprint: rolling hash of the executed event stream.
+        events: simulator events processed.
+        executed: ``pbft.executed`` events recorded (progress measure).
+    """
+
+    ok: bool
+    violation: dict | None
+    fingerprint: str
+    events: int
+    executed: int
+
+    def to_json(self) -> dict:
+        """Plain-JSON form (inverse of :meth:`from_json`)."""
+        return {
+            "ok": self.ok, "violation": self.violation,
+            "fingerprint": self.fingerprint, "events": self.events,
+            "executed": self.executed,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ScheduleResult":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(ok=data["ok"], violation=data.get("violation"),
+                   fingerprint=data["fingerprint"], events=data["events"],
+                   executed=data["executed"])
+
+
+@dataclass
+class RunOutcome:
+    """A schedule run's result plus the live objects behind it.
+
+    Only :attr:`result` crosses process boundaries; the host, harness
+    and tracer are for in-process inspection (shrinking, replay
+    rendering, tests).
+    """
+
+    result: ScheduleResult
+    host: object
+    tracer: MessageTracer | None = None
+
+
+class SendPerturber:
+    """Taps a network's send path to drop or delay-reorder messages.
+
+    Attach order matters for replay: the perturber wraps ``network.send``
+    first, and a :class:`~repro.net.tracer.MessageTracer` (when used)
+    wraps the perturber, so traces capture attempted sends while the
+    scheduled-event stream -- and hence the schedule fingerprint -- is
+    identical with or without tracing.
+
+    Args:
+        network: the network to tap (tapped immediately).
+        rng: stream for the per-message drop/delay coin flips.
+    """
+
+    def __init__(self, network: SimulatedNetwork, rng: DeterministicRNG) -> None:
+        self.network = network
+        self.rng = rng
+        self.windows: list[Perturbation] = []
+        self._original_send = network.send
+        network.send = self._send  # type: ignore[method-assign]
+
+    def add_window(self, perturbation: Perturbation) -> None:
+        """Arm a ``drop`` or ``delay`` window."""
+        self.windows.append(perturbation)
+
+    def _send(self, src: int, dst: int, payload) -> None:
+        now = self.network.sim.now
+        for window in self.windows:
+            if window.at <= now < window.until:
+                if window.op == "drop" and self.rng.random() < window.p:
+                    return
+                if window.op == "delay" and self.rng.random() < window.p:
+                    self.network.sim.schedule(
+                        window.extra_s, self._deliver, src, dst, payload)
+                    return
+        self._original_send(src, dst, payload)
+
+    def _deliver(self, src: int, dst: int, payload) -> None:
+        """Release a held message into the real send path."""
+        self._original_send(src, dst, payload)
+
+    def detach(self) -> None:
+        """Restore the network's original send path."""
+        self.network.send = self._original_send  # type: ignore[method-assign]
+
+
+class ScheduleFingerprint:
+    """Rolling hash over the exact event stream a simulator executed.
+
+    Installed as the simulator's step hook; each fired event contributes
+    its absolute time and callback qualname.  Two runs with equal
+    fingerprints executed the same schedule, which is how replay proves
+    determinism.
+    """
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256(b"repro.verify/fingerprint")
+
+    def hook(self, event) -> None:
+        """Step-hook callback: fold one fired event into the hash."""
+        callback = event.callback
+        name = getattr(callback, "__qualname__", type(callback).__name__)
+        self._hash.update(f"{event.time!r}|{name};".encode())
+
+    def hexdigest(self) -> str:
+        """The fingerprint so far (16 hex chars)."""
+        return self._hash.hexdigest()[:16]
+
+
+def _schedule_config(schedule: Schedule) -> GPBFTConfig:
+    """The monitored configuration for one schedule run."""
+    base = GPBFTConfig()
+    return base.replace(
+        network=replace(base.network, seed=schedule.seed),
+        verify=VerifyConfig(monitors=True),
+    )
+
+
+def _build_host(schedule: Schedule):
+    """Construct the monitored cluster/deployment for *schedule*."""
+    config = _schedule_config(schedule)
+    faults = {node: FAULT_REGISTRY[name]() for node, name in schedule.faults}
+    if schedule.protocol == "pbft":
+        return PBFTCluster(n_replicas=schedule.n, n_clients=1,
+                           config=config, faults=faults)
+    return GPBFTDeployment(n_nodes=schedule.n, config=config,
+                           seed=schedule.seed, start_reports=False,
+                           faults=faults)
+
+
+def _apply_perturbations(schedule: Schedule, host,
+                         perturber: SendPerturber) -> None:
+    """Arm every perturbation on the host's simulator and network."""
+    sim, network = host.sim, host.network
+    for p in schedule.perturbations:
+        if p.op == "crash":
+            sim.schedule_at(p.at, network.set_offline, p.node, True)
+            sim.schedule_at(p.until, network.set_offline, p.node, False)
+        elif p.op == "partition":
+            groups = {node: 0 for node in p.nodes}
+            sim.schedule_at(p.at, network.set_partition, groups)
+            sim.schedule_at(p.until, network.set_partition, None)
+        else:  # drop / delay: handled per message inside the window
+            perturber.add_window(p)
+
+
+def _schedule_submissions(schedule: Schedule, host) -> None:
+    """Arm the workload: one submission every 0.75 s from t = 1."""
+    if schedule.protocol == "pbft":
+        client = host.any_client
+        for k in range(schedule.submissions):
+            op = RawOperation(op_id=f"vtx-{schedule.seed}-{k}",
+                              size_bytes=_TX_BYTES)
+            host.sim.schedule_at(1.0 + 0.75 * k, client.submit, op)
+    else:
+        ids = sorted(host.nodes)
+        for k in range(schedule.submissions):
+            host.sim.schedule_at(1.0 + 0.75 * k, host.submit_from,
+                                 ids[k % len(ids)])
+
+
+def run_schedule(schedule: Schedule, with_tracer: bool = False) -> RunOutcome:
+    """Execute *schedule* under full invariant monitoring.
+
+    Returns a :class:`RunOutcome`; a monitor violation is captured in
+    ``outcome.result.violation`` rather than propagating.  With
+    *with_tracer* a :class:`~repro.net.tracer.MessageTracer` records the
+    message flow for replay rendering (without altering the schedule
+    fingerprint; see :class:`SendPerturber`).
+    """
+    host = _build_host(schedule)
+    perturber = SendPerturber(
+        host.network, DeterministicRNG(schedule.seed, "verify/perturb"))
+    tracer = MessageTracer(host.network) if with_tracer else None
+    fingerprint = ScheduleFingerprint()
+    host.sim.set_step_hook(fingerprint.hook)
+    _apply_perturbations(schedule, host, perturber)
+    _schedule_submissions(schedule, host)
+    if schedule.era_switch_at is not None:
+        host.sim.schedule_at(schedule.era_switch_at, host.force_era_switch)
+
+    violation: dict | None = None
+    try:
+        host.sim.run(until=schedule.horizon_s,
+                     max_events=MAX_EVENTS_PER_SCHEDULE)
+        if host.monitors is not None:
+            host.monitors.check_final()
+    except InvariantViolation as exc:
+        violation = exc.to_json()
+    host.sim.set_step_hook(None)
+
+    result = ScheduleResult(
+        ok=violation is None,
+        violation=violation,
+        fingerprint=fingerprint.hexdigest(),
+        events=host.sim.events_processed,
+        executed=host.events.count("pbft.executed"),
+    )
+    return RunOutcome(result=result, host=host, tracer=tracer)
+
+
+def _verify_point(n: int, seed: int, schedule: str) -> dict:
+    """Engine-facing entry: run one JSON-encoded schedule.
+
+    Registered under the ``verify`` point kind of
+    :func:`repro.experiments.engine.run_point`; *n* and *seed* are part
+    of the cache key and must match the schedule's own fields.
+    """
+    from repro.experiments import runner
+
+    sched = Schedule.from_json(json.loads(schedule))
+    if sched.n != n or sched.seed != seed:
+        raise ConfigurationError(
+            f"verify point (n={n}, seed={seed}) does not match its "
+            f"schedule (n={sched.n}, seed={sched.seed})")
+    outcome = run_schedule(sched)
+    runner._note_events(outcome.host.sim)
+    return outcome.result.to_json()
+
+
+def schedule_spec(schedule: Schedule) -> PointSpec:
+    """The engine :class:`PointSpec` that runs *schedule*."""
+    return PointSpec.make(schedule.protocol, "verify", schedule.n,
+                          schedule.seed, schedule=schedule.canonical_json())
+
+
+def generate_schedule(
+    protocol: str,
+    n: int,
+    seed: int,
+    submissions: int = 5,
+    horizon_s: float = 90.0,
+    faults: tuple[tuple[int, str], ...] = (),
+    max_perturbations: int = 3,
+) -> Schedule:
+    """Derive a seeded random schedule (same seed, same schedule).
+
+    Perturbation count, kinds, windows, targets and probabilities all
+    come from ``DeterministicRNG(seed, "verify/schedule")``, so the
+    explorer's search space is reproducible from the seed list alone.
+    """
+    rng = DeterministicRNG(seed, "verify/schedule")
+    count = rng.integers(1, max_perturbations + 1)
+    perturbations: list[Perturbation] = []
+    for _ in range(count):
+        op = rng.choice(PERTURBATION_OPS)
+        at = rng.uniform(0.5, max(1.0, horizon_s * 0.4))
+        until = at + rng.uniform(1.0, max(2.0, horizon_s * 0.3))
+        if op == "crash":
+            perturbations.append(Perturbation(
+                "crash", at, until, node=rng.integers(0, n)))
+        elif op == "partition":
+            ids = list(range(n))
+            rng.shuffle(ids)
+            group = tuple(sorted(ids[:rng.integers(1, max(2, n // 2 + 1))]))
+            perturbations.append(Perturbation(
+                "partition", at, until, nodes=group))
+        elif op == "drop":
+            perturbations.append(Perturbation(
+                "drop", at, until, p=rng.uniform(0.05, 0.4)))
+        else:
+            perturbations.append(Perturbation(
+                "delay", at, until, p=rng.uniform(0.1, 0.5),
+                extra_s=rng.uniform(0.05, 2.0)))
+    era_switch_at = None
+    if protocol == "gpbft" and rng.random() < 0.5:
+        era_switch_at = rng.uniform(2.0, max(3.0, horizon_s * 0.5))
+    return Schedule(
+        protocol=protocol, n=n, seed=seed, submissions=submissions,
+        horizon_s=horizon_s, era_switch_at=era_switch_at,
+        perturbations=tuple(perturbations), faults=tuple(faults),
+    )
+
+
+def shrink_schedule(
+    schedule: Schedule,
+    monitor: str,
+    budget: int = 48,
+) -> tuple[Schedule, int]:
+    """Greedily minimize a failing schedule, re-checking in-process.
+
+    Shrink moves, attempted until a fixpoint or *budget* runs: remove
+    one perturbation, remove one planted fault, halve the workload.  A
+    move is kept only when the candidate still trips the *same* monitor
+    -- so the planted fault of a mutation test always survives while
+    irrelevant chaos is stripped away.
+
+    Returns:
+        ``(minimal_schedule, runs_spent)``.
+    """
+    runs = 0
+
+    def still_fails(candidate: Schedule) -> bool:
+        violation = run_schedule(candidate).result.violation
+        return violation is not None and violation["monitor"] == monitor
+
+    current = schedule
+    improved = True
+    while improved and runs < budget:
+        improved = False
+        for i in range(len(current.perturbations)):
+            if runs >= budget:
+                break
+            candidate = current.without_perturbation(i)
+            runs += 1
+            if still_fails(candidate):
+                current, improved = candidate, True
+                break
+        if improved:
+            continue
+        for i in range(len(current.faults)):
+            if runs >= budget:
+                break
+            candidate = current.without_fault(i)
+            runs += 1
+            if still_fails(candidate):
+                current, improved = candidate, True
+                break
+        if improved:
+            continue
+        if current.submissions > 1 and runs < budget:
+            candidate = current.with_submissions(current.submissions // 2)
+            runs += 1
+            if still_fails(candidate):
+                current, improved = candidate, True
+    return current, runs
+
+
+def write_artifact(
+    path: Path,
+    schedule: Schedule,
+    result: ScheduleResult,
+    minimal: Schedule | None = None,
+    minimal_result: ScheduleResult | None = None,
+    shrink_runs: int = 0,
+) -> Path:
+    """Write a failing schedule as a JSON repro artifact.
+
+    The artifact embeds the original failing schedule and (when
+    shrinking ran) the minimal one, each with its violation and
+    fingerprint; :mod:`repro.verify.replay` re-runs the minimal entry.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": ARTIFACT_FORMAT,
+        "version": repro.__version__,
+        "original": {"schedule": schedule.to_json(),
+                     "result": result.to_json()},
+        "minimal": {
+            "schedule": (minimal or schedule).to_json(),
+            "result": (minimal_result or result).to_json(),
+        },
+        "shrink_runs": shrink_runs,
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+@dataclass
+class ExplorationReport:
+    """What one :func:`explore` call found.
+
+    Attributes:
+        explored: schedules run.
+        failures: ``(schedule, result)`` pairs that tripped a monitor.
+        minimal: shrunk form of the first failure (None when clean).
+        shrink_runs: extra runs the shrinker spent.
+        artifacts: repro artifact paths written.
+    """
+
+    explored: int = 0
+    failures: list[tuple[Schedule, ScheduleResult]] = field(default_factory=list)
+    minimal: Schedule | None = None
+    shrink_runs: int = 0
+    artifacts: list[Path] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff no schedule tripped any monitor."""
+        return not self.failures
+
+    def text(self) -> str:
+        """Multi-line human-readable summary for the CLI."""
+        lines = [f"explored {self.explored} schedules: "
+                 f"{len(self.failures)} violation(s)"]
+        for schedule, result in self.failures:
+            v = result.violation or {}
+            lines.append(
+                f"  seed {schedule.seed}: [{v.get('monitor')}] "
+                f"{v.get('message')}")
+        if self.minimal is not None:
+            lines.append(
+                f"  minimal repro (after {self.shrink_runs} shrink runs): "
+                f"{len(self.minimal.perturbations)} perturbation(s), "
+                f"{self.minimal.submissions} submission(s)")
+        for path in self.artifacts:
+            lines.append(f"  artifact: {path}")
+        return "\n".join(lines)
+
+
+def explore(
+    protocol: str = "pbft",
+    n: int = 4,
+    seeds=range(8),
+    submissions: int = 5,
+    horizon_s: float = 90.0,
+    faults: tuple[tuple[int, str], ...] = (),
+    engine: Engine | None = None,
+    out_dir: Path | str | None = None,
+    shrink_budget: int = 48,
+    max_perturbations: int = 3,
+) -> ExplorationReport:
+    """Fan seeded schedules across the engine and shrink any failure.
+
+    One schedule per seed is generated by :func:`generate_schedule`,
+    executed (in parallel when *engine* has ``jobs > 1``) under full
+    monitoring, and every failing schedule is written as a repro
+    artifact under *out_dir*.  The first failure is additionally shrunk
+    in-process to a minimal schedule that trips the same monitor.
+    """
+    eng = engine if engine is not None else Engine(jobs=1, use_cache=False)
+    out = Path(out_dir) if out_dir is not None else DEFAULT_ARTIFACT_DIR
+    schedules = [
+        generate_schedule(protocol, n, seed, submissions=submissions,
+                          horizon_s=horizon_s, faults=faults,
+                          max_perturbations=max_perturbations)
+        for seed in seeds
+    ]
+    values = eng.map([schedule_spec(s) for s in schedules])
+    report = ExplorationReport(explored=len(schedules))
+    for schedule, value in zip(schedules, values):
+        result = ScheduleResult.from_json(value)
+        if result.violation is not None:
+            report.failures.append((schedule, result))
+
+    for index, (schedule, result) in enumerate(report.failures):
+        minimal = minimal_result = None
+        if index == 0 and shrink_budget > 0:
+            minimal, spent = shrink_schedule(
+                schedule, result.violation["monitor"], budget=shrink_budget)
+            minimal_result = run_schedule(minimal).result
+            report.minimal, report.shrink_runs = minimal, spent + 1
+        name = (f"violation-{schedule.protocol}-s{schedule.seed}-"
+                f"{result.violation['monitor']}.json")
+        report.artifacts.append(write_artifact(
+            out / name, schedule, result, minimal=minimal,
+            minimal_result=minimal_result,
+            shrink_runs=report.shrink_runs if index == 0 else 0))
+    return report

@@ -1,0 +1,396 @@
+"""Runtime invariant monitors for G-PBFT / PBFT simulations.
+
+A :class:`MonitorHarness` subscribes to a harness host's
+:class:`~repro.common.eventlog.EventLog` (a
+:class:`~repro.pbft.cluster.PBFTCluster` or a
+:class:`~repro.core.deployment.GPBFTDeployment`) and feeds every event,
+synchronously, to a set of :class:`Monitor` plugins.  A monitor that
+observes a safety violation raises a structured
+:class:`InvariantViolation` carrying the offending event and the recent
+trace window, which aborts the simulation step with full context.
+
+The five default monitors cover the protocol's core safety surface:
+
+* :class:`PrefixConsistencyMonitor` -- no two replicas execute different
+  requests at the same (epoch, sequence) slot; ledgers stay
+  prefix-consistent.
+* :class:`QuorumCertificateMonitor` -- every execution is backed by
+  ``2f+1`` prepare and commit votes from committee members only.
+* :class:`ViewChangeMonotonicityMonitor` -- entered views strictly
+  increase per (replica, epoch).
+* :class:`EraSwitchAtomicityMonitor` -- nothing commits on a node
+  between its era freeze and relaunch, and the recorded era timeline
+  stays well-formed.
+* :class:`SybilCapMonitor` -- committees never exceed ``max_endorsers``
+  and never contain blacklisted identities.
+
+Monitoring is opt-in via ``GPBFTConfig.verify.monitors``; with it off
+the hot paths pay a single truthiness check (see
+``EventLog.append``), keeping experiment sweeps unaffected.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, NoReturn
+
+from repro.common.config import VerifyConfig
+from repro.common.errors import EraSwitchError, ReproError
+from repro.common.eventlog import Event
+
+
+class InvariantViolation(ReproError):
+    """A safety monitor observed a protocol invariant being broken.
+
+    Attributes:
+        monitor: name of the monitor that fired.
+        message: human-readable description of the violation.
+        event: the offending :class:`~repro.common.eventlog.Event`
+            (``None`` for end-of-run checks).
+        trace: the most recent events before the violation, oldest
+            first, as plain dicts (the harness's trace window).
+    """
+
+    def __init__(self, monitor: str, message: str,
+                 event: Event | None = None,
+                 trace: list[dict] | None = None) -> None:
+        super().__init__(f"[{monitor}] {message}")
+        self.monitor = monitor
+        self.message = message
+        self.event = event
+        self.trace = list(trace or [])
+
+    def to_json(self) -> dict:
+        """JSON-able form, embedded in explorer repro artifacts."""
+        return {
+            "monitor": self.monitor,
+            "message": self.message,
+            "event": event_to_json(self.event) if self.event else None,
+            "trace": self.trace,
+        }
+
+
+def event_to_json(event: Event) -> dict:
+    """Flatten an :class:`Event` into a JSON-able dict."""
+    return {
+        "at": event.at,
+        "kind": event.kind,
+        "node": event.node,
+        "data": {k: _jsonable(v) for k, v in event.data.items()},
+    }
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of event payload values to JSON types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+class Monitor:
+    """Base class for invariant monitors.
+
+    Subclasses override :meth:`on_event` (called synchronously for every
+    recorded event) and/or :meth:`finish` (called once after the run by
+    :meth:`MonitorHarness.check_final`), raising through
+    :meth:`MonitorHarness.fail` on violation.
+    """
+
+    #: Stable identifier, used in violation reports and shrink oracles.
+    name = "monitor"
+
+    def on_event(self, harness: "MonitorHarness", event: Event) -> None:
+        """Observe one event (default: ignore)."""
+
+    def finish(self, harness: "MonitorHarness") -> None:
+        """Run end-of-simulation checks (default: none)."""
+
+
+class PrefixConsistencyMonitor(Monitor):
+    """No two replicas may execute different requests at one slot.
+
+    Tracks the (epoch, sequence) -> request id mapping across every
+    ``pbft.executed`` event and, in per-transaction mode, the ledger
+    height -> transaction id mapping across ``tx.committed`` events.
+    :meth:`finish` additionally runs the host's own whole-ledger
+    consistency check (``all_agree`` / ``ledgers_consistent``).
+    """
+
+    name = "prefix-consistency"
+
+    def __init__(self) -> None:
+        self._slots: dict[tuple[int, int], str] = {}
+        self._heights: dict[int, str] = {}
+
+    def on_event(self, harness: "MonitorHarness", event: Event) -> None:
+        """Cross-check executed slots and committed heights."""
+        if event.kind == "pbft.executed":
+            key = (event.data.get("epoch", 0), event.data["seq"])
+            rid = event.data["request_id"]
+            seen = self._slots.get(key)
+            if seen is None:
+                self._slots[key] = rid
+            elif seen != rid:
+                harness.fail(self, (
+                    f"slot epoch={key[0]} seq={key[1]} executed as "
+                    f"{rid!r} on node {event.node} but {seen!r} elsewhere"
+                ), event)
+        elif event.kind == "tx.committed" and harness.mode == "per_tx":
+            height = event.data["height"]
+            tx_id = event.data["tx_id"]
+            seen = self._heights.get(height)
+            if seen is None:
+                self._heights[height] = tx_id
+            elif seen != tx_id:
+                harness.fail(self, (
+                    f"height {height} holds tx {tx_id!r} on node "
+                    f"{event.node} but {seen!r} elsewhere"
+                ), event)
+
+    def finish(self, harness: "MonitorHarness") -> None:
+        """Run the host's whole-ledger prefix check."""
+        if not harness.ledgers_consistent():
+            harness.fail(self, "replica ledgers diverged (prefix check failed)")
+
+
+class QuorumCertificateMonitor(Monitor):
+    """Every execution must hold full prepare and commit certificates.
+
+    On each ``pbft.executed`` event the monitor checks that the
+    executing replica counted at least ``2f+1`` prepares and ``2f+1``
+    commits, and that every vote it counted came from a current
+    committee member.  This is the monitor that catches the
+    quorum-undercount mutation planted by
+    :class:`~repro.pbft.faults.QuorumUndercountFaults`.
+    """
+
+    name = "quorum-certificate"
+
+    def on_event(self, harness: "MonitorHarness", event: Event) -> None:
+        """Validate the certificate behind a ``pbft.executed`` event."""
+        if event.kind != "pbft.executed":
+            return
+        replica = harness.replica(event.node)
+        if replica is None:
+            return
+        need = 2 * replica.f + 1
+        prepares = event.data.get("prepares")
+        commits = event.data.get("commits")
+        if prepares is not None and prepares < need:
+            harness.fail(self, (
+                f"node {event.node} executed seq={event.data['seq']} with "
+                f"{prepares} prepares < required {need}"
+            ), event)
+        if commits is not None and commits < need:
+            harness.fail(self, (
+                f"node {event.node} executed seq={event.data['seq']} with "
+                f"{commits} commits < required {need}"
+            ), event)
+        if event.data.get("epoch", replica.epoch) != replica.epoch:
+            return  # replica already rolled to a new era; senders are gone
+        state = replica.log.instance(event.data["view"], event.data["seq"])
+        outsiders = (state.prepares | state.commits) - set(replica.committee)
+        if outsiders:
+            harness.fail(self, (
+                f"node {event.node} counted votes from non-members "
+                f"{sorted(outsiders)} at seq={event.data['seq']}"
+            ), event)
+
+
+class ViewChangeMonotonicityMonitor(Monitor):
+    """Entered views must strictly increase per (replica, epoch)."""
+
+    name = "view-monotonicity"
+
+    def __init__(self) -> None:
+        self._entered: dict[tuple[int, int], int] = {}
+
+    def on_event(self, harness: "MonitorHarness", event: Event) -> None:
+        """Track ``pbft.entered_view`` events per replica and epoch."""
+        if event.kind != "pbft.entered_view":
+            return
+        key = (event.node, event.data.get("epoch", 0))
+        view = event.data["view"]
+        last = self._entered.get(key)
+        if last is not None and view <= last:
+            harness.fail(self, (
+                f"node {event.node} entered view {view} after already "
+                f"being in view {last} (epoch {key[1]})"
+            ), event)
+        self._entered[key] = view
+
+
+class EraSwitchAtomicityMonitor(Monitor):
+    """Nothing may commit on a node between era freeze and relaunch.
+
+    G-PBFT pauses consensus for the switch period (section III-B4); a
+    transaction or block committed while the node's ``switching`` flag
+    is raised means the freeze leaked.  On every completed switch the
+    node's :meth:`~repro.core.era.EraHistory.validate` is also run, so a
+    malformed era timeline (numbering gaps, overlapping periods)
+    surfaces immediately.
+    """
+
+    name = "era-atomicity"
+
+    _COMMIT_KINDS = ("tx.committed", "block.committed")
+
+    def __init__(self) -> None:
+        self._switching: set[int] = set()
+
+    def on_event(self, harness: "MonitorHarness", event: Event) -> None:
+        """Track switch windows and reject commits inside them."""
+        if event.kind == "era.switch_started":
+            self._switching.add(event.node)
+        elif event.kind == "era.switch_completed":
+            self._switching.discard(event.node)
+            node = harness.node(event.node)
+            if node is not None:
+                try:
+                    node.era_history.validate()
+                except EraSwitchError as exc:
+                    harness.fail(self, f"era timeline invalid: {exc}", event)
+        elif event.kind in self._COMMIT_KINDS and event.node in self._switching:
+            harness.fail(self, (
+                f"node {event.node} committed ({event.kind}) during its "
+                "era switch period"
+            ), event)
+
+
+class SybilCapMonitor(Monitor):
+    """Committees must respect the cap and the blacklist.
+
+    After every completed era switch, the new committee of the switching
+    node must hold at most ``max_endorsers`` members and no blacklisted
+    identity -- the accounting half of the paper's Sybil defence (the
+    admission half lives in ``repro.sybil``).
+    """
+
+    name = "sybil-cap"
+
+    def on_event(self, harness: "MonitorHarness", event: Event) -> None:
+        """Audit the committee installed by an era switch."""
+        if event.kind != "era.switch_completed":
+            return
+        node = harness.node(event.node)
+        if node is None:
+            return
+        policy = node.committee_manager.policy
+        if len(node.committee) > policy.max_endorsers:
+            harness.fail(self, (
+                f"node {event.node} installed a committee of "
+                f"{len(node.committee)} > max_endorsers {policy.max_endorsers}"
+            ), event)
+        banned = set(node.committee) & set(policy.blacklist)
+        if banned:
+            harness.fail(self, (
+                f"node {event.node} installed blacklisted members "
+                f"{sorted(banned)}"
+            ), event)
+
+
+def default_monitors() -> list[Monitor]:
+    """Fresh instances of the five standard safety monitors."""
+    return [
+        PrefixConsistencyMonitor(),
+        QuorumCertificateMonitor(),
+        ViewChangeMonotonicityMonitor(),
+        EraSwitchAtomicityMonitor(),
+        SybilCapMonitor(),
+    ]
+
+
+class MonitorHarness:
+    """Attaches monitors to a cluster/deployment's event stream.
+
+    Args:
+        host: a :class:`~repro.pbft.cluster.PBFTCluster` or
+            :class:`~repro.core.deployment.GPBFTDeployment` (anything
+            with an ``events`` :class:`~repro.common.eventlog.EventLog`).
+        config: verification settings; defaults to monitors-on with the
+            default trace window.
+        monitors: monitor instances to attach; defaults to
+            :func:`default_monitors`.
+
+    The harness subscribes immediately; every event recorded by *host*
+    from then on flows through every monitor, and a violation raises
+    :class:`InvariantViolation` out of the simulation step that caused
+    it.  Call :meth:`check_final` after the run for end-of-run checks
+    and :meth:`detach` to stop observing.
+    """
+
+    def __init__(self, host, config: VerifyConfig | None = None,
+                 monitors: list[Monitor] | None = None) -> None:
+        self.host = host
+        self.config = config or VerifyConfig(monitors=True)
+        self.monitors = list(monitors) if monitors is not None else default_monitors()
+        self.trace: deque[Event] = deque(maxlen=self.config.trace_window)
+        host.events.subscribe(self._on_event)
+
+    # -- host accessors ---------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """The host's ordering mode (``"per_tx"`` unless set otherwise)."""
+        return getattr(self.host, "mode", "per_tx")
+
+    def replica(self, node_id: int):
+        """The PBFT replica running on *node_id*, or ``None``.
+
+        Resolves through either host shape: ``PBFTCluster.replicas``
+        directly, or ``GPBFTDeployment.nodes[id].replica`` (``None``
+        for plain devices and mid-construction).
+        """
+        replicas = getattr(self.host, "replicas", None)
+        if replicas is not None:
+            return replicas.get(node_id)
+        node = self.node(node_id)
+        return getattr(node, "replica", None)
+
+    def node(self, node_id: int):
+        """The :class:`~repro.core.node.GPBFTNode` with *node_id*, or
+        ``None`` on hosts without full G-PBFT nodes."""
+        nodes = getattr(self.host, "nodes", None)
+        if nodes is None:
+            return None
+        return nodes.get(node_id)
+
+    def ledgers_consistent(self) -> bool:
+        """The host's own whole-run prefix check (True when absent)."""
+        for probe in ("ledgers_consistent", "all_agree"):
+            check = getattr(self.host, probe, None)
+            if check is not None:
+                return bool(check())
+        return True
+
+    # -- event flow -------------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        self.trace.append(event)
+        for monitor in self.monitors:
+            monitor.on_event(self, event)
+
+    def fail(self, monitor: Monitor, message: str,
+             event: Event | None = None) -> NoReturn:
+        """Raise a structured violation with the current trace window."""
+        raise InvariantViolation(
+            monitor=monitor.name,
+            message=message,
+            event=event,
+            trace=[event_to_json(e) for e in self.trace],
+        )
+
+    def check_final(self) -> None:
+        """Run every monitor's end-of-simulation checks."""
+        for monitor in self.monitors:
+            monitor.finish(self)
+
+    def detach(self) -> None:
+        """Stop observing the host's event stream (idempotent)."""
+        self.host.events.unsubscribe(self._on_event)

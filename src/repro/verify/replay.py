@@ -1,0 +1,107 @@
+"""Deterministic replay of saved failing schedules.
+
+An explorer artifact (see
+:func:`repro.verify.explorer.write_artifact`) pins a failing schedule
+together with its violation and schedule fingerprint.  :func:`replay_artifact`
+re-runs the minimal schedule with a
+:class:`~repro.net.tracer.MessageTracer` attached and declares the
+artifact *reproduced* when the same monitor fires again **and** the
+event-stream fingerprint matches bit-for-bit -- proving the replay
+followed the original schedule, not merely a similar one.
+
+Used by ``repro verify --replay <artifact>`` and the regression tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.common.errors import ConfigurationError
+from repro.verify.explorer import (
+    ARTIFACT_FORMAT,
+    RunOutcome,
+    Schedule,
+    ScheduleResult,
+    run_schedule,
+)
+
+
+def load_artifact(path: Path | str) -> dict:
+    """Load and structurally validate a repro artifact.
+
+    Raises:
+        ConfigurationError: when the file is unreadable, not JSON, or
+            not a ``repro.verify`` schedule artifact.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read artifact {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"artifact {path} is not JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("format") != ARTIFACT_FORMAT:
+        raise ConfigurationError(
+            f"artifact {path} is not a {ARTIFACT_FORMAT} file")
+    if "minimal" not in data and "original" not in data:
+        raise ConfigurationError(f"artifact {path} holds no schedule")
+    return data
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one artifact.
+
+    Attributes:
+        reproduced: same monitor fired and the fingerprints match.
+        expected: the artifact's recorded :class:`ScheduleResult`.
+        actual: the replayed run's result.
+        outcome: the live :class:`RunOutcome` (tracer attached) for
+            post-mortem rendering.
+    """
+
+    reproduced: bool
+    expected: ScheduleResult
+    actual: ScheduleResult
+    outcome: RunOutcome
+
+    def summary(self, trace_limit: int = 30) -> str:
+        """Human-readable replay report with a message-flow excerpt."""
+        lines = [
+            ("reproduced" if self.reproduced else "NOT reproduced")
+            + f": fingerprint {self.actual.fingerprint} "
+            f"(expected {self.expected.fingerprint})",
+        ]
+        expected_monitor = (self.expected.violation or {}).get("monitor")
+        actual_monitor = (self.actual.violation or {}).get("monitor")
+        lines.append(f"monitor: {actual_monitor} (expected {expected_monitor})")
+        if self.actual.violation is not None:
+            lines.append(f"violation: {self.actual.violation['message']}")
+        if self.outcome.tracer is not None and trace_limit > 0:
+            lines.append("message flow:")
+            lines.append(self.outcome.tracer.render_sequence(limit=trace_limit))
+        return "\n".join(lines)
+
+
+def replay_artifact(path: Path | str) -> ReplayResult:
+    """Re-run an artifact's minimal schedule with tracing attached.
+
+    The replay *reproduces* the artifact when the violation outcome
+    (same monitor, or clean in both) and the schedule fingerprint both
+    match the recorded run.
+    """
+    artifact = load_artifact(path)
+    entry = artifact.get("minimal") or artifact["original"]
+    schedule = Schedule.from_json(entry["schedule"])
+    expected = ScheduleResult.from_json(entry["result"])
+    outcome = run_schedule(schedule, with_tracer=True)
+    actual = outcome.result
+    same_monitor = (
+        (actual.violation or {}).get("monitor")
+        == (expected.violation or {}).get("monitor")
+    )
+    reproduced = same_monitor and actual.fingerprint == expected.fingerprint
+    return ReplayResult(reproduced=reproduced, expected=expected,
+                        actual=actual, outcome=outcome)

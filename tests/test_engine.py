@@ -6,11 +6,13 @@ because every point derives all randomness from ``DeterministicRNG``.
 """
 
 import json
+import warnings
 
 import pytest
 
 import repro
 from repro.common.errors import ConfigurationError
+from repro.experiments import runner
 from repro.experiments.engine import Engine, PointSpec, run_point
 from repro.experiments.runner import (
     gpbft_latency_point,
@@ -63,6 +65,7 @@ class TestPointSpec:
 class TestRunPoint:
     def test_dispatch_matches_deprecated_wrappers(self):
         spec = PointSpec.make("pbft", "latency", 4, 7, **LAT)
+        runner._deprecation_warned.discard("pbft_latency_point")
         with pytest.deprecated_call():
             legacy = pbft_latency_point(4, 7, 600.0, 2, 1)
         assert run_point(spec) == legacy
@@ -78,10 +81,27 @@ class TestRunPoint:
             run_point(bad)
 
     def test_wrappers_warn_deprecation(self):
+        runner._deprecation_warned.discard("pbft_traffic_point")
+        runner._deprecation_warned.discard("gpbft_latency_point")
         with pytest.deprecated_call():
             pbft_traffic_point(4)
         with pytest.deprecated_call():
             gpbft_latency_point(8, 1, 600.0, 2, 1, max_endorsers=8)
+
+    def test_wrappers_warn_exactly_once(self):
+        # deprecation noise is rate-limited: a sweep that calls a legacy
+        # wrapper 100 times warns on the first call only
+        runner._deprecation_warned.discard("gpbft_traffic_point")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = runner.gpbft_traffic_point(8, max_endorsers=8)
+            second = runner.gpbft_traffic_point(8, max_endorsers=8)
+        assert first == second
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)
+                        and "gpbft_traffic_point" in str(w.message)]
+        assert len(deprecations) == 1
+        assert "run_point" in str(deprecations[0].message)
 
 
 class TestEngineCache:

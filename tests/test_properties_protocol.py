@@ -9,12 +9,19 @@ from hypothesis import given, settings, strategies as st
 
 import pytest
 
-from repro.common.config import CommitteeConfig
+from repro.common.config import (
+    CommitteeConfig,
+    GPBFTConfig,
+    NetworkConfig,
+    PBFTConfig,
+    VerifyConfig,
+)
 from repro.common.errors import ReproError, ValidationError
 from repro.codec import decode_prepare, decode_transaction
 from repro.core.committee import CommitteeManager
 from repro.core.era import EraHistory
 from repro.core.incentive import select_producer
+from repro.pbft import PBFTCluster, RawOperation
 
 committee_strategy = st.sets(
     st.integers(min_value=0, max_value=200), min_size=4, max_size=30
@@ -92,6 +99,8 @@ class TestEraHistoryProperties:
         # total switch time equals the sum of the pauses
         expected = sum(s for _, s in durations)
         assert history.total_switch_time() == pytest.approx(expected)
+        # the era-atomicity monitor's validator accepts any legal timeline
+        history.validate()
 
 
 class TestProducerLotteryFairness:
@@ -104,6 +113,39 @@ class TestProducerLotteryFairness:
         )
         # expect ~300 of 400; allow wide noise margins
         assert 240 <= wins <= 360
+
+
+class TestMonitoredConsensusProperties:
+    """Fault-free consensus under full invariant monitoring.
+
+    Any schedule of submission times must complete without a monitor
+    firing -- a false positive here means a monitor (not the protocol)
+    is wrong.
+    """
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        times=st.lists(
+            st.floats(min_value=0.5, max_value=30.0), min_size=1, max_size=5
+        ),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_monitors_stay_silent_on_honest_runs(self, seed, times):
+        config = GPBFTConfig(
+            network=NetworkConfig(seed=seed),
+            pbft=PBFTConfig(view_change_timeout_s=5.0,
+                            request_retry_timeout_s=20.0),
+            verify=VerifyConfig(monitors=True),
+        )
+        cluster = PBFTCluster(4, 1, config=config)
+        assert cluster.monitors is not None
+        for k, at in enumerate(sorted(times)):
+            cluster.sim.schedule_at(at, cluster.any_client.submit,
+                                    RawOperation(f"mon-{k}"))
+        cluster.run(until=300.0)
+        cluster.monitors.check_final()
+        assert len(cluster.any_client.completed) == len(times)
+        assert cluster.all_agree()
 
 
 class TestCodecRobustness:

@@ -1,0 +1,238 @@
+"""Tests for ``repro.verify``: monitors, explorer, shrinking and replay.
+
+The centrepiece is a *mutation self-test*: a deliberate quorum bug is
+injected through the fault model and the schedule explorer must (a)
+find it within a bounded seed budget, (b) shrink the failing schedule
+to a minimal one that still trips the same monitor, and (c) write an
+artifact that :func:`repro.verify.replay.replay_artifact` reproduces
+bit-for-bit (identical event-schedule fingerprint).  If the explorer
+ever loses the ability to catch a planted safety bug, these tests --
+not a production incident -- are where that regression surfaces.
+"""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.common.config import VerifyConfig
+from repro.common.errors import ConfigurationError
+from repro.common.eventlog import Event, EventLog
+from repro.experiments.engine import Engine
+from repro.verify import InvariantViolation, MonitorHarness
+from repro.verify.cli import main as verify_main
+from repro.verify.explorer import (
+    Perturbation,
+    Schedule,
+    explore,
+    generate_schedule,
+    run_schedule,
+    shrink_schedule,
+    write_artifact,
+)
+from repro.verify.invariants import (
+    ViewChangeMonotonicityMonitor,
+    event_to_json,
+)
+from repro.verify.replay import load_artifact, replay_artifact
+
+QUORUM_BUG = ((1, "quorum_undercount"),)
+
+
+def _clean(seed=3, **kw):
+    return Schedule(protocol="pbft", n=4, seed=seed, submissions=3,
+                    horizon_s=60.0, **kw)
+
+
+class TestScheduleModel:
+    def test_json_roundtrip(self):
+        schedule = Schedule(
+            protocol="gpbft", n=6, seed=9, submissions=4, horizon_s=120.0,
+            era_switch_at=30.0,
+            perturbations=(Perturbation(op="crash", at=5.0, until=20.0,
+                                        node=1),),
+            faults=QUORUM_BUG,
+        )
+        assert Schedule.from_json(schedule.to_json()) == schedule
+        # canonical form is stable and parseable
+        assert json.loads(schedule.canonical_json()) == schedule.to_json()
+
+    def test_validation_rejects_bad_schedules(self):
+        with pytest.raises(ConfigurationError):
+            Schedule(protocol="pbft", n=4, seed=0, era_switch_at=10.0)
+        with pytest.raises(ConfigurationError):
+            Schedule(protocol="pbft", n=4, seed=0,
+                     faults=((0, "no-such-fault"),))
+        with pytest.raises(ConfigurationError):
+            Perturbation(op="warp", at=1.0)
+
+    def test_generate_is_deterministic_and_valid(self):
+        for protocol, n in (("pbft", 4), ("gpbft", 6)):
+            one = generate_schedule(protocol, n, seed=11)
+            two = generate_schedule(protocol, n, seed=11)
+            assert one == two
+            assert generate_schedule(protocol, n, seed=12) != one
+
+
+class TestRunSchedule:
+    def test_clean_schedule_passes_and_is_deterministic(self):
+        first = run_schedule(_clean()).result
+        second = run_schedule(_clean()).result
+        assert first.ok and second.ok
+        assert first.fingerprint == second.fingerprint
+        assert first.executed >= 3
+
+    def test_tracer_does_not_perturb_the_fingerprint(self):
+        untraced = run_schedule(_clean()).result
+        traced = run_schedule(_clean(), with_tracer=True)
+        assert traced.result.fingerprint == untraced.fingerprint
+        assert traced.tracer is not None
+
+    def test_planted_quorum_bug_trips_the_certificate_monitor(self):
+        outcome = run_schedule(_clean(faults=QUORUM_BUG))
+        assert not outcome.result.ok
+        violation = outcome.result.violation
+        assert violation["monitor"] == "quorum-certificate"
+        assert violation["trace"], "violation must carry its trace window"
+
+
+class TestMonitorHarness:
+    def _host(self):
+        return SimpleNamespace(events=EventLog(), mode="per_tx",
+                               replicas={}, nodes={})
+
+    def test_view_monotonicity_fires_on_regression(self):
+        host = self._host()
+        harness = MonitorHarness(host, VerifyConfig(monitors=True),
+                                 monitors=[ViewChangeMonotonicityMonitor()])
+        host.events.append(Event(1.0, "pbft.entered_view", 0, {"view": 2}))
+        with pytest.raises(InvariantViolation) as exc:
+            host.events.append(Event(2.0, "pbft.entered_view", 0, {"view": 2}))
+        violation = exc.value
+        assert violation.monitor == "view-monotonicity"
+        # the trace window ends with the offending event, serializably
+        trace = violation.to_json()["trace"]
+        assert trace[-1] == event_to_json(violation.event)
+        harness.detach()
+
+    def test_epochs_have_independent_view_timelines(self):
+        host = self._host()
+        MonitorHarness(host, VerifyConfig(monitors=True),
+                       monitors=[ViewChangeMonotonicityMonitor()])
+        host.events.append(Event(1.0, "pbft.entered_view", 0,
+                                 {"view": 5, "epoch": 0}))
+        # same node re-entering view 1 in the next epoch is legal
+        host.events.append(Event(2.0, "pbft.entered_view", 0,
+                                 {"view": 1, "epoch": 1}))
+
+    def test_detach_stops_monitoring(self):
+        host = self._host()
+        harness = MonitorHarness(host, VerifyConfig(monitors=True),
+                                 monitors=[ViewChangeMonotonicityMonitor()])
+        host.events.append(Event(1.0, "pbft.entered_view", 0, {"view": 3}))
+        harness.detach()
+        host.events.append(Event(2.0, "pbft.entered_view", 0, {"view": 1}))
+
+
+class TestMutationSelfTest:
+    """The explorer must find and shrink a planted quorum bug."""
+
+    SEED_BUDGET = 4
+
+    def test_explorer_finds_and_shrinks_the_planted_bug(self, tmp_path):
+        report = explore(
+            protocol="pbft", n=4, seeds=range(self.SEED_BUDGET),
+            submissions=3, horizon_s=60.0, faults=QUORUM_BUG,
+            engine=Engine(jobs=1, use_cache=False), out_dir=tmp_path,
+            shrink_budget=24,
+        )
+        assert not report.ok
+        assert report.failures, (
+            f"planted quorum bug escaped {self.SEED_BUDGET} seeds"
+        )
+        assert report.minimal is not None
+        # shrinking must never grow the schedule, and the minimal
+        # schedule must keep the injected fault (removing it heals the
+        # run, so greedy shrinking cannot drop it)
+        original = report.failures[0][0]
+        minimal = report.minimal
+        assert minimal.submissions <= original.submissions
+        assert len(minimal.perturbations) <= len(original.perturbations)
+        assert QUORUM_BUG[0] in minimal.faults
+        assert 0 < report.shrink_runs <= 24
+        assert len(report.artifacts) == len(report.failures)
+        for path in report.artifacts:
+            assert path.exists()
+
+    def test_minimal_schedule_still_trips_the_same_monitor(self, tmp_path):
+        schedule = _clean(faults=QUORUM_BUG)
+        outcome = run_schedule(schedule)
+        monitor = outcome.result.violation["monitor"]
+        minimal, runs = shrink_schedule(schedule, monitor, budget=24)
+        verdict = run_schedule(minimal).result
+        assert not verdict.ok
+        assert verdict.violation["monitor"] == monitor
+        assert runs <= 24
+
+
+class TestReplay:
+    def _artifact(self, tmp_path):
+        schedule = _clean(seed=5, faults=QUORUM_BUG)
+        outcome = run_schedule(schedule)
+        monitor = outcome.result.violation["monitor"]
+        minimal, runs = shrink_schedule(schedule, monitor, budget=16)
+        path = tmp_path / "artifact.json"
+        write_artifact(path, schedule, outcome.result, minimal,
+                       run_schedule(minimal).result, runs)
+        return path
+
+    def test_artifact_replays_deterministically(self, tmp_path):
+        path = self._artifact(tmp_path)
+        replay = replay_artifact(path)
+        assert replay.reproduced
+        expected_monitor = replay.expected.violation["monitor"]
+        assert expected_monitor == replay.actual.violation["monitor"]
+        summary = replay.summary()
+        assert "reproduced" in summary.lower()
+        assert expected_monitor in summary
+
+    def test_artifact_is_loadable_and_versioned(self, tmp_path):
+        artifact = load_artifact(self._artifact(tmp_path))
+        assert artifact["format"] == "repro.verify/schedule-artifact"
+        assert Schedule.from_json(artifact["minimal"]["schedule"])
+
+    def test_corrupt_artifact_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ConfigurationError):
+            load_artifact(path)
+
+
+class TestVerifyCLI:
+    ARGS = ["--protocol", "pbft", "--n", "4", "--seeds", "2",
+            "--submissions", "2", "--horizon", "45"]
+
+    def test_clean_exploration_exits_zero(self, tmp_path, capsys):
+        code = verify_main(self.ARGS + ["--out", str(tmp_path)])
+        assert code == 0
+        assert "0 violation" in capsys.readouterr().out
+
+    def test_violations_exit_one_and_write_artifacts(self, tmp_path, capsys):
+        code = verify_main(self.ARGS + ["--out", str(tmp_path),
+                                        "--fault", "1:quorum_undercount",
+                                        "--shrink-budget", "16"])
+        assert code == 1
+        assert list(tmp_path.glob("violation-*.json"))
+        assert "quorum-certificate" in capsys.readouterr().out
+
+    def test_replay_exit_codes(self, tmp_path, capsys):
+        verify_main(self.ARGS + ["--out", str(tmp_path),
+                                 "--fault", "1:quorum_undercount",
+                                 "--shrink-budget", "16"])
+        artifact = sorted(tmp_path.glob("violation-*.json"))[0]
+        assert verify_main(["--replay", str(artifact)]) == 0
+        assert "reproduced" in capsys.readouterr().out.lower()
+
+    def test_bad_fault_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            verify_main(self.ARGS + ["--fault", "not-a-fault"])
