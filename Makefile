@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench sweep-smoke verify-smoke figures figures-paper charts examples clean
+.PHONY: install test lint typecheck bench sweep-smoke verify-smoke figures figures-paper charts examples clean
 
 install:
 	pip install -e ".[dev]"
@@ -10,9 +10,16 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# documentation gate: every public item must carry a docstring
+# static analysis: determinism/protocol rules (docs/static-analysis.md)
+# plus the docstring gate
 lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src/ --strict-baseline
 	$(PYTHON) scripts/check_docstrings.py
+
+# mypy --strict over the typed core (repro.codec/common/crypto/geo),
+# ratcheted by typecheck-ratchet.toml; skips with a notice if mypy is absent
+typecheck:
+	PYTHONPATH=src $(PYTHON) scripts/run_typecheck.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

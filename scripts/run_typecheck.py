@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Run ``mypy --strict`` over the typed core, with a shrink-only ratchet.
+
+The typed core is ``repro.codec``, ``repro.common``, ``repro.crypto``
+and ``repro.geo``.  Modules listed in ``typecheck-ratchet.toml`` (with a
+mandatory reason) may still carry strict-mode errors: those are printed
+but tolerated.  Errors in any *other* typed-core module fail the gate,
+and a ratcheted module that comes clean is flagged so its entry gets
+deleted -- the ratchet only ever shrinks.
+
+Exit codes: 0 gate passed (or mypy unavailable -- see below), 1 gate
+failed, 2 configuration error (malformed ratchet file).
+
+mypy is a dev-extra dependency, not a runtime one.  When it is not
+importable (e.g. a minimal local environment), the script prints a
+notice and exits 0 so ``make typecheck`` stays runnable everywhere; CI
+installs ``.[dev]`` and gets the real gate.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+import tomllib
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RATCHET_FILE = REPO_ROOT / "typecheck-ratchet.toml"
+TYPED_CORE = ["repro.codec", "repro.common", "repro.crypto", "repro.geo"]
+
+#: mypy error lines look like ``src/repro/geo/index.py:12: error: ...``.
+_ERROR_RE = re.compile(r"^(?P<path>[^:]+\.py):\d+(?::\d+)?: error:")
+
+
+def load_ratchet(path: Path) -> dict[str, str]:
+    """Return module -> reason from the ratchet file (empty if absent)."""
+    if not path.exists():
+        return {}
+    try:
+        data = tomllib.loads(path.read_text())
+    except tomllib.TOMLDecodeError as exc:
+        raise SystemExit(f"error: malformed {path.name}: {exc}") from exc
+    ratchet: dict[str, str] = {}
+    for entry in data.get("tolerate", []):
+        module = entry.get("module")
+        reason = entry.get("reason")
+        if not module or not reason:
+            print(f"error: {path.name}: every [[tolerate]] entry needs a "
+                  f"module and a non-empty reason (got {entry!r})",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        ratchet[module] = reason
+    return ratchet
+
+
+def module_of(path: str) -> str:
+    """Dotted module name for a reported ``src/repro/...`` file path."""
+    parts = Path(path).with_suffix("").parts
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def main() -> int:
+    try:
+        import mypy  # noqa: F401
+    except ModuleNotFoundError:
+        print("typecheck: mypy is not installed in this environment; "
+              "skipping (install the 'dev' extra for the real gate)")
+        return 0
+
+    ratchet = load_ratchet(RATCHET_FILE)
+    packages: list[str] = []
+    for pkg in TYPED_CORE:
+        packages += ["-p", pkg]
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", "--no-error-summary",
+         *packages],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin",
+             "MYPYPATH": str(REPO_ROOT / "src")},
+    )
+    if proc.returncode not in (0, 1):
+        sys.stderr.write(proc.stderr)
+        print(f"typecheck: mypy crashed (exit {proc.returncode})",
+              file=sys.stderr)
+        return 2
+
+    hard_errors: list[str] = []
+    tolerated: list[str] = []
+    dirty_modules: set[str] = set()
+    for line in proc.stdout.splitlines():
+        match = _ERROR_RE.match(line)
+        if not match:
+            continue
+        module = module_of(match.group("path"))
+        ratcheted = any(module == m or module.startswith(m + ".")
+                        for m in ratchet)
+        if ratcheted:
+            dirty_modules.add(module)
+            tolerated.append(line)
+        else:
+            hard_errors.append(line)
+
+    for line in hard_errors:
+        print(line)
+    if tolerated:
+        print(f"typecheck: tolerating {len(tolerated)} error(s) in "
+              f"ratcheted modules: {', '.join(sorted(dirty_modules))}")
+    clean_entries = [m for m in ratchet
+                     if not any(d == m or d.startswith(m + ".")
+                                for d in dirty_modules)]
+    if clean_entries:
+        print("typecheck: these ratchet entries are clean now -- delete "
+              f"them from {RATCHET_FILE.name}: {', '.join(sorted(clean_entries))}")
+
+    if hard_errors:
+        print(f"typecheck: FAILED with {len(hard_errors)} strict-mode "
+              "error(s) outside the ratchet", file=sys.stderr)
+        return 1
+    print(f"typecheck: OK ({len(TYPED_CORE)} typed-core packages, "
+          f"{len(ratchet)} ratchet entr{'y' if len(ratchet) == 1 else 'ies'})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

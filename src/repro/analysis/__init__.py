@@ -1,17 +1,30 @@
-"""Closed-form models from the paper's theoretical analysis (section IV).
+"""Analysis tools: the paper's closed-form models and the static analyzer.
 
-Latency: with processing rate *s* messages/second per node, a PBFT phase
-switch waits for a ~(2n/3) quorum, so a full consensus is O(n/s); with a
-committee of *c* endorsers G-PBFT is O(c/s) and the predicted speedup is
-n/c (section IV-B).
+Two kinds of *analysis* live here:
 
-Overhead: PBFT moves O(n^2) messages per request; G-PBFT O(c^2), a
-reduction of c^2/n^2 (section IV-C).
+* :mod:`repro.analysis.models` -- closed-form latency/overhead models
+  from the paper's theoretical analysis (section IV).  With processing
+  rate *s* messages/second per node, a PBFT phase switch waits for a
+  ~(2n/3) quorum, so a full consensus is O(n/s); a committee of *c*
+  endorsers makes G-PBFT O(c/s) with predicted speedup n/c (IV-B) and
+  traffic reduction c^2/n^2 (IV-C).  Compared against the simulator by
+  ``benchmarks/test_bench_analysis.py`` and EXPERIMENTS.md.
 
-These predictions are compared against the simulator's measurements by
-``benchmarks/test_bench_analysis.py`` and EXPERIMENTS.md.
+* The **determinism & protocol-safety static analyzer** (``python -m
+  repro.analysis src/``, ``make lint``): AST-based rules ``GPB001``..
+  that reject wall-clock/ambient-randomness leaks, unordered iteration
+  feeding consensus or metrics code, float equality on coordinates and
+  latencies, inline ``2f+1`` quorum arithmetic, codec-registry entries
+  without runtime handlers, broad ``except`` in protocol hot paths, and
+  mutable default arguments.  It is the *static* half of the
+  verification story whose *runtime* half is :mod:`repro.verify`; see
+  ``docs/static-analysis.md`` for the catalog and suppression syntax.
 """
 
+from repro.analysis.analyzer import AnalysisResult, all_rules, analyze
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Module, Project, Rule
 from repro.analysis.models import (
     pbft_phase_seconds,
     pbft_consensus_seconds,
@@ -28,6 +41,15 @@ from repro.analysis.models import (
 )
 
 __all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "Module",
+    "Project",
+    "Rule",
+    "all_rules",
+    "analyze",
     "pbft_phase_seconds",
     "pbft_consensus_seconds",
     "gpbft_consensus_seconds",

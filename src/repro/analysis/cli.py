@@ -1,0 +1,137 @@
+"""Command-line front end: ``python -m repro.analysis [paths...]``.
+
+Exit codes:
+
+* ``0`` -- analysis ran and found nothing unsuppressed;
+* ``1`` -- at least one finding (or, with ``--strict-baseline``, a
+  stale baseline entry);
+* ``2`` -- usage or configuration error (bad path, unparseable input
+  or baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.analyzer import AnalysisResult, all_rules, analyze
+from repro.analysis.baseline import Baseline
+from repro.common.errors import ConfigurationError
+
+#: Default reviewed-allowlist location (repo root).
+DEFAULT_BASELINE = "analysis-baseline.toml"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism & protocol-safety static analyzer "
+                    "for the G-PBFT reproduction.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze (default: src)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help=f"suppression file (default: {DEFAULT_BASELINE} "
+                             "if present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--strict-baseline", action="store_true",
+                        help="fail (exit 1) when baseline entries are stale")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="finding output format")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule ids and titles, then exit")
+    parser.add_argument("--doc", action="store_true",
+                        help="print the markdown rule catalog, then exit")
+    return parser
+
+
+def render_rule_catalog() -> str:
+    """Markdown catalog rendered from each rule's docstring.
+
+    This is the generator behind the rule table in
+    ``docs/static-analysis.md``; regenerate with
+    ``python -m repro.analysis --doc``.
+    """
+    sections = ["## Rule catalog", ""]
+    for rule in all_rules():
+        doc = inspect.cleandoc(rule.__class__.__doc__ or "")
+        sections.append(f"### {rule.rule_id} — {rule.title}")
+        sections.append("")
+        sections.append(doc)
+        sections.append("")
+    return "\n".join(sections)
+
+
+def _print_text(result: AnalysisResult) -> None:
+    for finding in result.findings:
+        print(finding.render())
+    for stale in result.stale_suppressions:
+        print(f"stale suppression: {stale}", file=sys.stderr)
+    summary = (
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.stale_suppressions)} stale suppression(s), "
+        f"{result.files_analyzed} file(s) analyzed"
+    )
+    print(summary, file=sys.stderr)
+
+
+def _print_json(result: AnalysisResult) -> None:
+    print(json.dumps({
+        "findings": [
+            {"rule": f.rule_id, "path": f.path, "line": f.line,
+             "col": f.col, "message": f.message}
+            for f in result.findings
+        ],
+        "suppressed": len(result.suppressed),
+        "stale_suppressions": result.stale_suppressions,
+        "files_analyzed": result.files_analyzed,
+    }, indent=2))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+    if args.doc:
+        print(render_rule_catalog())
+        return 0
+
+    baseline = None
+    if not args.no_baseline:
+        baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+        if baseline_path.exists():
+            try:
+                baseline = Baseline.load(baseline_path)
+            except ConfigurationError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        elif args.baseline:
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+
+    try:
+        result = analyze([Path(p) for p in args.paths], baseline=baseline)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        _print_json(result)
+    else:
+        _print_text(result)
+
+    if result.findings:
+        return 1
+    if args.strict_baseline and result.stale_suppressions:
+        return 1
+    return 0

@@ -1,0 +1,151 @@
+"""Rule framework for the determinism & protocol-safety analyzer.
+
+A rule is a subclass of :class:`Rule` with a stable ``rule_id``
+(``GPB001``...), a one-line ``title``, and a class docstring that doubles
+as its catalog entry in ``docs/static-analysis.md`` (rendered by
+``python -m repro.analysis --doc``).  Rules inspect parsed modules --
+never the running program -- and yield :class:`~repro.analysis.findings.Finding`
+records with precise ``file:line:col`` locations.
+
+Two hook points exist:
+
+* :meth:`Rule.check_module` runs once per analyzed file and covers
+  single-file properties (wall-clock calls, float equality, ...);
+* :meth:`Rule.check_project` runs once per analysis with access to
+  every parsed module and covers cross-file properties (the codec
+  registry / handler coverage rule).
+
+New rules register themselves by appearing in ``ALL_RULES`` (populated
+by :mod:`repro.analysis.drules` and :mod:`repro.analysis.prules`); the
+fixture self-test (``tests/test_analysis_rules.py``) requires one
+planted violation per registered rule, so adding a rule without fixture
+coverage fails the suite.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+
+
+@dataclass(slots=True)
+class Module:
+    """One parsed source file.
+
+    Attributes:
+        path: absolute path on disk.
+        rel: normalized posix path used in findings and baselines
+            (relative to the invocation directory when possible).
+        source: raw text.
+        tree: parsed AST.
+        lines: source split into lines (for inline-suppression lookup).
+    """
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    _parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    def parent_map(self) -> dict[ast.AST, ast.AST]:
+        """Child -> parent links for the whole tree, built lazily."""
+        if not self._parents:
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    self._parents[child] = parent
+        return self._parents
+
+    def parents_of(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Ancestors of *node*, innermost first."""
+        parents = self.parent_map()
+        current = parents.get(node)
+        while current is not None:
+            yield current
+            current = parents.get(current)
+
+    def segments(self) -> tuple[str, ...]:
+        """Path segments of :attr:`rel` (used for package scoping)."""
+        return tuple(self.rel.split("/"))
+
+
+@dataclass(slots=True)
+class Project:
+    """Every module of one analysis run, keyed by normalized path."""
+
+    modules: dict[str, Module]
+
+    def find_suffix(self, suffix: str) -> Module | None:
+        """The unique module whose path ends with *suffix*, if any."""
+        norm = suffix.lstrip("/")
+        matches = [
+            m for rel, m in self.modules.items()
+            if rel == norm or rel.endswith("/" + norm)
+        ]
+        return matches[0] if len(matches) == 1 else None
+
+
+class Rule:
+    """Base class for analyzer rules."""
+
+    #: Stable identifier, e.g. ``"GPB001"``.
+    rule_id: str = ""
+    #: One-line summary shown by ``--doc`` and ``--list-rules``.
+    title: str = ""
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        """Yield findings for one file (single-file rules)."""
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        """Yield findings needing the whole module set (cross-file rules)."""
+        return ()
+
+    # -- shared helpers ---------------------------------------------------
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at *node* (1-based columns)."""
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted name of a Name/Attribute chain, else ``""``.
+
+    ``time.time`` -> ``"time.time"``; ``self.rng.choice`` ->
+    ``"self.rng.choice"``; anything non-name-like yields ``""``.
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def call_name(node: ast.Call) -> str:
+    """Dotted name of a call's callee (empty for computed callees)."""
+    return dotted_name(node.func)
+
+
+def in_package(module: Module, *names: str) -> bool:
+    """True when any path segment of the module matches one of *names*.
+
+    Scoping is segment-based rather than repo-absolute so the same rules
+    run unchanged over ``src/repro/`` and over the fixture tree used by
+    the self-test.
+    """
+    segs = module.segments()
+    return any(name in segs for name in names)

@@ -73,7 +73,8 @@ def _measure_pbft(n: int, seed: int) -> tuple[float, float]:
             RawOperation(f"cmp-{seed}-{k}", size_bytes=200),
         )
     cluster.run(until=_HORIZON_S)
-    latencies = list(cluster.any_client.completed.values())
+    # sorted: float aggregation must not depend on dict completion order
+    latencies = sorted(cluster.any_client.completed.values())
     kb = (cluster.network.stats.bytes_sent - before) / 1024.0
     return _mean(latencies), kb / max(1, len(latencies))
 
@@ -93,7 +94,7 @@ def _measure_gpbft(n: int, seed: int, cap: int = 8) -> tuple[float, float]:
         dep.sim.schedule_at(1.0 + k * _TX_SPACING_S,
                             submitter.client.submit, TxOperation(tx))
     dep.run(until=_HORIZON_S)
-    latencies = list(submitter.client.completed.values())
+    latencies = sorted(submitter.client.completed.values())
     kb = (dep.network.stats.bytes_sent - before) / 1024.0
     return _mean(latencies), kb / max(1, len(latencies))
 
@@ -104,7 +105,7 @@ def _measure_dbft(n: int, seed: int) -> tuple[float, float]:
     for k in range(_N_TXS):
         net.sim.schedule_at(1.0 + k * _TX_SPACING_S, net.submit_tx, f"tx-{k}")
     net.run(until=_HORIZON_S)
-    latencies = list(net.commit_latencies().values())
+    latencies = sorted(net.commit_latencies().values())
     kb = (net.network.stats.bytes_sent - before) / 1024.0
     return _mean(latencies), kb / max(1, len(latencies))
 
@@ -116,7 +117,7 @@ def _measure_pow(n: int, seed: int) -> tuple[float, float, float]:
     for k in range(_N_TXS):
         net.sim.schedule_at(1.0 + k * _TX_SPACING_S, net.submit_tx, f"tx-{k}")
     net.run(until=_HORIZON_S * 2)  # confirmations need several blocks
-    latencies = list(net.commit_latencies().values())
+    latencies = sorted(net.commit_latencies().values())
     kb = (net.network.stats.bytes_sent - before) / 1024.0
     per_tx = max(1, len(latencies))
     return _mean(latencies), kb / per_tx, net.hash_work() / per_tx
@@ -129,7 +130,7 @@ def _measure_pos(n: int, seed: int) -> tuple[float, float]:
     for k in range(_N_TXS):
         net.sim.schedule_at(1.0 + k * _TX_SPACING_S, net.submit_tx, f"tx-{k}")
     net.run(until=_HORIZON_S)
-    latencies = list(net.commit_latencies().values())
+    latencies = sorted(net.commit_latencies().values())
     kb = (net.network.stats.bytes_sent - before) / 1024.0
     return _mean(latencies), kb / max(1, len(latencies))
 

@@ -66,7 +66,9 @@ class Mempool:
         if max_txs <= 0:
             return []
         if self._fee_priority:
-            ranked = sorted(self._pool.values(), key=lambda t: -t.fee)
+            # tie-break equal fees by tx id so the batch does not depend
+            # on the schedule-dependent arrival order
+            ranked = sorted(self._pool.values(), key=lambda t: (-t.fee, t.tx_id))
             return ranked[:max_txs]
         out = []
         for tx in self._pool.values():

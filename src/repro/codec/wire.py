@@ -12,6 +12,8 @@ alongside the message.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.chain.transaction import (
     ConfigAction,
     ConfigTransaction,
@@ -31,6 +33,11 @@ from repro.pbft.messages import (
     PrePrepare,
     Reply,
 )
+
+if TYPE_CHECKING:
+    from repro.chain.block import Block, BlockHeader
+    from repro.core.messages import EraSwitchOperation
+    from repro.pbft.messages import NewView, PreparedProof, ViewChange
 
 _ZERO_SIG = b"\x00" * SIGNATURE_BYTES
 
@@ -299,7 +306,8 @@ def decode_pre_prepare(data: bytes) -> tuple[int, int, int, bytes, bytes, bytes]
 
 # -- blocks ----------------------------------------------------------------
 
-def encode_block_header(header, signature: bytes = _ZERO_SIG) -> bytes:
+def encode_block_header(header: BlockHeader,
+                        signature: bytes = _ZERO_SIG) -> bytes:
     """Fixed header: height/era/view/seq/proposer u32s + pad + timestamp
     f64 + parent 32 + tx_root 32 + signature 64 (matches
     ``BlockHeader.size_bytes``: 48 fixed + 64 digests + 64 signature)."""
@@ -317,7 +325,7 @@ def encode_block_header(header, signature: bytes = _ZERO_SIG) -> bytes:
     )
 
 
-def decode_block_header(data: bytes):
+def decode_block_header(data: bytes) -> tuple[BlockHeader, bytes]:
     """Inverse of :func:`encode_block_header`; returns (header, sig)."""
     from repro.chain.block import BlockHeader
 
@@ -335,7 +343,7 @@ def decode_block_header(data: bytes):
     return header, signature
 
 
-def encode_block(block, signature: bytes = _ZERO_SIG) -> bytes:
+def encode_block(block: Block, signature: bytes = _ZERO_SIG) -> bytes:
     """Header followed by each transaction's encoding, in order."""
     writer = Writer()
     writer.raw(encode_block_header(block.header, signature))
@@ -344,7 +352,7 @@ def encode_block(block, signature: bytes = _ZERO_SIG) -> bytes:
     return writer.bytes()
 
 
-def decode_block(data: bytes):
+def decode_block(data: bytes) -> Block:
     """Inverse of :func:`encode_block` (transactions must be the fixed
     200-byte normal/config layouts used across the experiments)."""
     from repro.chain.block import Block
@@ -352,7 +360,7 @@ def decode_block(data: bytes):
     reader = Reader(data)
     header_bytes = reader.raw(48 + 64 + 64)
     header, _sig = decode_block_header(header_bytes)
-    txs = []
+    txs: list[Transaction] = []
     while reader.remaining:
         # peek the declared payload length to find this tx's extent:
         # header 40 (payload_len at offset 17) + payload + geo 32 + sig 64
@@ -366,7 +374,7 @@ def decode_block(data: bytes):
 
 # -- G-PBFT operations -------------------------------------------------------
 
-def encode_era_switch(op) -> bytes:
+def encode_era_switch(op: EraSwitchOperation) -> bytes:
     """counts u32 x3 + new_era u32 + committee + added + removed ids."""
     writer = (Writer().u32(op.new_era).u32(len(op.committee))
               .u32(len(op.added)).u32(len(op.removed)))
@@ -375,7 +383,7 @@ def encode_era_switch(op) -> bytes:
     return writer.bytes()
 
 
-def decode_era_switch(data: bytes):
+def decode_era_switch(data: bytes) -> EraSwitchOperation:
     """Inverse of :func:`encode_era_switch`."""
     from repro.core.messages import EraSwitchOperation
 
@@ -392,7 +400,7 @@ def decode_era_switch(data: bytes):
 
 # -- view changes ---------------------------------------------------------------
 
-def encode_prepared_proof(proof, request_bytes: bytes) -> bytes:
+def encode_prepared_proof(proof: PreparedProof, request_bytes: bytes) -> bytes:
     """view + seq + prepare_count u32s, digest 32, request bytes, then
     one prepare-sized certificate entry per recorded vote."""
     if len(request_bytes) != proof.request.size_bytes:
@@ -410,7 +418,7 @@ def encode_prepared_proof(proof, request_bytes: bytes) -> bytes:
     return writer.bytes()
 
 
-def encode_view_change(msg, proofs_bytes: list[bytes],
+def encode_view_change(msg: ViewChange, proofs_bytes: list[bytes],
                        signature: bytes = _ZERO_SIG) -> bytes:
     """new_view + last_stable_seq + sender + proof-count u32s,
     signature, then each encoded prepared proof."""
@@ -425,7 +433,7 @@ def encode_view_change(msg, proofs_bytes: list[bytes],
     return writer.bytes()
 
 
-def encode_new_view(msg, pre_prepares_bytes: list[bytes],
+def encode_new_view(msg: NewView, pre_prepares_bytes: list[bytes],
                     signature: bytes = _ZERO_SIG) -> bytes:
     """new_view + sender + vote-count + pre-prepare-count u32s,
     signature, one (sender u32 + signature) per view-change vote, then

@@ -11,8 +11,11 @@ for reproducible experiment sweeps.
 from __future__ import annotations
 
 import hashlib
+from typing import Iterable, Sequence, TypeVar
 
 import numpy as np
+
+T = TypeVar("T")
 
 
 class DeterministicRNG:
@@ -49,7 +52,9 @@ class DeterministicRNG:
         """One float drawn uniformly from [low, high)."""
         return float(self._gen.uniform(low, high))
 
-    def uniform_array(self, low: float, high: float, size: int) -> np.ndarray:
+    def uniform_array(
+        self, low: float, high: float, size: int
+    ) -> np.ndarray[tuple[int, ...], np.dtype[np.float64]]:
         """Vectorised uniform draws (used by trace/workload generators)."""
         return self._gen.uniform(low, high, size=size)
 
@@ -69,12 +74,12 @@ class DeterministicRNG:
         """One float in [0, 1)."""
         return float(self._gen.random())
 
-    def choice(self, seq, p=None):
+    def choice(self, seq: Sequence[T], p: Sequence[float] | None = None) -> T:
         """Pick one element of *seq*, optionally with weights *p*."""
         idx = self._gen.choice(len(seq), p=p)
         return seq[int(idx)]
 
-    def weighted_index(self, weights) -> int:
+    def weighted_index(self, weights: Iterable[float]) -> int:
         """Sample an index proportionally to non-negative *weights*.
 
         Used by the incentive engine to pick block producers with
@@ -94,7 +99,7 @@ class DeterministicRNG:
             return int(self._gen.integers(0, w.size))
         return int(self._gen.choice(w.size, p=w / total))
 
-    def shuffle(self, seq: list) -> None:
+    def shuffle(self, seq: list[T]) -> None:
         """In-place Fisher-Yates shuffle of a Python list."""
         self._gen.shuffle(seq)
 

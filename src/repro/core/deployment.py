@@ -141,7 +141,7 @@ class GPBFTDeployment:
             from repro.sybil.detection import GroundTruthWitnessOracle, ReportAdmission
 
             self._oracle = GroundTruthWitnessOracle(self.directory, witness_range_m)
-            for node in self.nodes.values():
+            for _, node in sorted(self.nodes.items()):
                 node.admission = ReportAdmission(
                     LocationAuditor(
                         witness_range_m=witness_range_m,
@@ -161,20 +161,20 @@ class GPBFTDeployment:
     @property
     def committee(self) -> tuple[int, ...]:
         """The committee according to the lowest-id current member."""
-        for node in self.nodes.values():
-            if node.is_member:
-                return node.committee
+        for node_id in sorted(self.nodes):
+            if self.nodes[node_id].is_member:
+                return self.nodes[node_id].committee
         raise ConsensusError("no active committee member found")
 
     @property
     def endorsers(self) -> list[GPBFTNode]:
-        """Nodes currently holding the endorser role."""
-        return [n for n in self.nodes.values() if n.is_member]
+        """Nodes currently holding the endorser role, in id order."""
+        return [self.nodes[i] for i in sorted(self.nodes) if self.nodes[i].is_member]
 
     @property
     def devices(self) -> list[GPBFTNode]:
-        """Nodes currently acting purely as clients."""
-        return [n for n in self.nodes.values() if not n.is_member]
+        """Nodes currently acting purely as clients, in id order."""
+        return [self.nodes[i] for i in sorted(self.nodes) if not self.nodes[i].is_member]
 
     def _chain_sync(self, node: GPBFTNode, from_node: int) -> None:
         """State transfer for newly elected endorsers.
@@ -285,7 +285,7 @@ class GPBFTDeployment:
     def completed_latencies(self) -> dict[str, float]:
         """request id -> commit latency, across every node's client."""
         out: dict[str, float] = {}
-        for node in self.nodes.values():
+        for _, node in sorted(self.nodes.items()):
             out.update(node.client.completed)
         return out
 

@@ -4,8 +4,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.common.errors import GeoError
+
+if TYPE_CHECKING:
+    from repro.common.rng import DeterministicRNG
 
 #: Mean Earth radius in metres (IUGG value), used by haversine.
 EARTH_RADIUS_M = 6_371_008.8
@@ -106,7 +110,7 @@ class Region:
         """Geometric centre of the box."""
         return LatLng((self.south + self.north) / 2, (self.west + self.east) / 2)
 
-    def sample(self, rng) -> LatLng:
+    def sample(self, rng: "DeterministicRNG") -> LatLng:
         """Uniformly sample a point inside the region.
 
         Args:

@@ -52,7 +52,7 @@ class UniformLatency(LatencyModel):
 
     def sample(self, src: int, dst: int, rng: DeterministicRNG) -> float:
         """Draw one propagation delay for (src, dst)."""
-        if self.jitter_s == 0:
+        if self.jitter_s <= 0:
             return self.base_s
         return self.base_s + rng.uniform(0.0, self.jitter_s)
 

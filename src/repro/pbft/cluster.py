@@ -153,10 +153,10 @@ class PBFTCluster:
 
     @property
     def any_client(self) -> PBFTClient:
-        """The first client (most tests use exactly one)."""
+        """The lowest-id client (most tests use exactly one)."""
         if not self.clients:
             raise ConsensusError("cluster has no clients")
-        return next(iter(self.clients.values()))
+        return self.clients[min(self.clients)]
 
     def submit(self, op: Operation, client_id: int | None = None) -> str:
         """Submit *op* through a client; returns the request id."""

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConsensusError
+from repro.common.quorum import max_faulty, quorum_size
 from repro.pbft.messages import ClientRequest, Commit, Prepare, PrePrepare
 
 
@@ -57,9 +58,9 @@ class MessageLog:
         if n < 4:
             raise ConsensusError(f"PBFT needs n >= 4 replicas, got {n}")
         self.n = n
-        self.f = (n - 1) // 3
+        self.f = max_faulty(n)
         self.replica_id = replica_id
-        default_quorum = 2 * self.f + 1
+        default_quorum = quorum_size(self.f)
         self.prepare_quorum = max(
             1, default_quorum if prepare_quorum is None else prepare_quorum)
         self.commit_quorum = max(
@@ -78,8 +79,8 @@ class MessageLog:
         return state
 
     def instances(self) -> list[InstanceState]:
-        """All tracked instances (unordered)."""
-        return list(self._instances.values())
+        """All tracked instances, in (view, seq) order."""
+        return [self._instances[key] for key in sorted(self._instances)]
 
     @property
     def conflicts(self) -> list[tuple[int, int, bytes, bytes]]:

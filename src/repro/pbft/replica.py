@@ -30,6 +30,7 @@ from repro.common.config import PBFTConfig
 from repro.common.errors import ConsensusError
 from repro.common.eventlog import EventLog
 from repro.common.ids import primary_for_view
+from repro.common.quorum import max_faulty, quorum_size
 from repro.crypto.hashing import sha256
 from repro.net.simulator import ScheduledEvent, Simulator
 from repro.pbft.faults import FaultModel, HonestFaults
@@ -110,12 +111,12 @@ class PBFTReplica:
         self._state_transfer_fn = state_transfer_fn
 
         self.n = len(self.committee)
-        self.f = (self.n - 1) // 3
+        self.f = max_faulty(self.n)
         self.view = 0
         self.next_seq = 1
         # quorum thresholds resolved once: honest models skew by 0, so
         # the hot-path predicates stay plain integer comparisons
-        quorum = 2 * self.f + 1
+        quorum = quorum_size(self.f)
         self.log = MessageLog(
             self.n, node_id,
             prepare_quorum=quorum + self.faults.quorum_skew("prepare"),
@@ -452,7 +453,7 @@ class PBFTReplica:
         votes = self._checkpoint_votes.setdefault(msg.seq, {})
         senders = votes.setdefault(msg.state_digest, set())
         senders.add(msg.sender)
-        if len(senders) >= 2 * self.f + 1:
+        if len(senders) >= quorum_size(self.f):
             self.stable_seq = msg.seq
             self.log.garbage_collect(msg.seq)
             for s in [s for s in self._checkpoint_votes if s <= msg.seq]:
@@ -580,7 +581,7 @@ class PBFTReplica:
             self.start_view_change(msg.new_view)
             votes = self._view_change_votes.setdefault(msg.new_view, {})
         if (
-            len(votes) >= 2 * self.f + 1
+            len(votes) >= quorum_size(self.f)
             and self.primary_of(msg.new_view) == self.node_id
             and msg.new_view > self.view
         ):
@@ -591,7 +592,9 @@ class PBFTReplica:
         # choosing the highest-view certificate per sequence number
         min_s = max(vc.last_stable_seq for vc in votes.values())
         best: dict[int, PreparedProof] = {}
-        for vc in votes.values():
+        # sender-id order: equal-view certificates must tie-break the
+        # same way on every replica and every rerun
+        for _, vc in sorted(votes.items()):
             for proof in vc.prepared:
                 if proof.seq <= min_s:
                     continue
@@ -646,7 +649,7 @@ class PBFTReplica:
             return
         if msg.new_view <= self.view and not self.in_view_change:
             return
-        if len(msg.view_change_senders) < 2 * self.f + 1:
+        if len(msg.view_change_senders) < quorum_size(self.f):
             return
         self._enter_view(msg.new_view)
         for pp in msg.pre_prepares:

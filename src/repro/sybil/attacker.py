@@ -88,7 +88,9 @@ class SybilAttacker:
         Raises:
             ConsensusError: if CLONE_CELL is chosen without positions.
         """
-        honest = list((honest_positions or {}).values())
+        # node-id order: which honest cell each identity clones must not
+        # depend on the caller's dict construction order
+        honest = [pos for _, pos in sorted((honest_positions or {}).items())]
         if self.strategy is SybilStrategy.CLONE_CELL and not honest:
             raise ConsensusError("CLONE_CELL needs honest positions to clone")
         created = []

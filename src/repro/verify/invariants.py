@@ -37,6 +37,7 @@ from typing import Any, NoReturn
 from repro.common.config import VerifyConfig
 from repro.common.errors import EraSwitchError, ReproError
 from repro.common.eventlog import Event
+from repro.common.quorum import quorum_size
 
 
 class InvariantViolation(ReproError):
@@ -179,7 +180,7 @@ class QuorumCertificateMonitor(Monitor):
         replica = harness.replica(event.node)
         if replica is None:
             return
-        need = 2 * replica.f + 1
+        need = quorum_size(replica.f)
         prepares = event.data.get("prepares")
         commits = event.data.get("commits")
         if prepares is not None and prepares < need:

@@ -1,0 +1,8 @@
+"""Planted violation: GPB001 (wall-clock call) at exactly one site."""
+
+import time
+
+
+def stamp() -> float:
+    """Return a schedule-dependent timestamp (the bug under test)."""
+    return time.time()  # PLANT: GPB001

@@ -1,0 +1,8 @@
+"""Planted violation: GPB002 (ambient randomness) at exactly one site."""
+
+import random
+
+
+def pick_endorser(candidates: list) -> object:
+    """Choose with process-global entropy (the bug under test)."""
+    return random.choice(candidates)  # PLANT: GPB002

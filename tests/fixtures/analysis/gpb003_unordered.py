@@ -1,0 +1,20 @@
+"""Planted violation: GPB003 (unordered iteration) at exactly one site.
+
+The allowed forms exercised below must NOT fire: order-insensitive
+consumers and sorted() keep the rule quiet.
+"""
+
+
+def batch(pool: dict) -> list:
+    """Materialize dict values in incidental order (the bug under test)."""
+    return [tx for tx in pool.values()]  # PLANT: GPB003
+
+
+def total(pool: dict) -> float:
+    """Allowed: sum() is order-insensitive."""
+    return sum(pool.values())
+
+
+def ranked(pool: dict) -> list:
+    """Allowed: sorted() imposes a total order."""
+    return sorted(pool.values())

@@ -1,0 +1,13 @@
+"""Planted violation: GPB004 (float equality) at exactly one site."""
+
+import math
+
+
+def on_equator(lat: float) -> bool:
+    """Compare a coordinate exactly (the bug under test)."""
+    return lat == 0.0  # PLANT: GPB004
+
+
+def near_equator(lat: float) -> bool:
+    """Allowed: tolerance-based comparison."""
+    return math.isclose(lat, 0.0, abs_tol=1e-9)

@@ -1,0 +1,6 @@
+"""Planted violation: GPB005 (inline quorum arithmetic) at one site."""
+
+
+def prepared(votes: int, f: int) -> bool:
+    """Re-derive the quorum threshold inline (the bug under test)."""
+    return votes >= 2 * f + 1  # PLANT: GPB005

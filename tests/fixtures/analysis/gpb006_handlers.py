@@ -1,0 +1,11 @@
+"""Codec/handler module for the GPB006 fixture: the handler is missing."""
+
+
+def encode_ping(msg: object) -> bytes:
+    """Encoder named by the registry (exists; must not be flagged)."""
+    return b"ping"
+
+
+def decode_ping(data: bytes) -> object:
+    """Decoder named by the registry (exists; must not be flagged)."""
+    return object()

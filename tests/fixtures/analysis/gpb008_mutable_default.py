@@ -1,0 +1,15 @@
+"""Planted violation: GPB008 (mutable default argument) at one site."""
+
+
+def enqueue(tx: object, pool: list = []) -> list:  # PLANT: GPB008
+    """Share one default list across every call (the bug under test)."""
+    pool.append(tx)
+    return pool
+
+
+def enqueue_fixed(tx: object, pool: list | None = None) -> list:
+    """Allowed: None default, built in-body."""
+    if pool is None:
+        pool = []
+    pool.append(tx)
+    return pool

@@ -1,0 +1,13 @@
+"""Planted violation: GPB007 (broad except in a hot-path package).
+
+This file lives under a ``pbft`` path segment, which puts it in the
+rule's hot-path scope.
+"""
+
+
+def deliver(handler, message) -> None:
+    """Swallow every handler error (the bug under test)."""
+    try:
+        handler(message)
+    except Exception:  # PLANT: GPB007
+        pass

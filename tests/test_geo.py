@@ -1,5 +1,7 @@
 """Unit tests: coordinates, geohash, CSC, reports, verification (repro.geo)."""
 
+import math
+
 import pytest
 
 from repro.common.errors import GeoError
@@ -54,6 +56,60 @@ class TestLatLng:
     def test_offset_at_pole_rejected(self):
         with pytest.raises(GeoError):
             LatLng(90.0, 0.0).offset_m(0.0, 10.0)
+
+
+class TestCoordsEdgeCases:
+    """Antimeridian, poles, and float-tolerant round-trips."""
+
+    def test_offset_east_across_antimeridian_wraps(self):
+        near_dateline = LatLng(0.0, 179.999)
+        moved = near_dateline.offset_m(0.0, 1000.0)  # ~0.009 deg of lng
+        assert moved.lng < 0.0, "crossing +180 must wrap into [-180, 0)"
+        assert -180.0 <= moved.lng <= 180.0
+
+    def test_offset_west_across_antimeridian_wraps(self):
+        near_dateline = LatLng(0.0, -179.999)
+        moved = near_dateline.offset_m(0.0, -1000.0)
+        assert moved.lng > 0.0, "crossing -180 must wrap into (0, 180]"
+
+    def test_haversine_is_short_across_antimeridian(self):
+        # 0.002 deg of equatorial lng is ~222 m; a naive flat subtraction
+        # of longitudes would report a near-full circumference.
+        east = LatLng(0.0, 179.999)
+        west = LatLng(0.0, -179.999)
+        assert haversine_m(east, west) < 1000.0
+
+    def test_offset_at_either_pole_rejected(self):
+        for lat in (90.0, -90.0):
+            with pytest.raises(GeoError):
+                LatLng(lat, 0.0).offset_m(100.0, 0.0)
+
+    def test_near_pole_offset_clamps_latitude(self):
+        near_pole = LatLng(89.9999, 0.0)
+        moved = near_pole.offset_m(1_000_000.0, 0.0)
+        assert moved.lat == 90.0
+
+    def test_antipodal_distance_near_half_circumference(self):
+        half_circumference = math.pi * EARTH_RADIUS_M
+        got = haversine_m(LatLng(0.0, 0.0), LatLng(0.0, 180.0))
+        assert math.isclose(got, half_circumference, rel_tol=1e-9)
+
+    def test_offset_roundtrip_within_tolerance(self):
+        # Compare with math.isclose, never ==: the flat-earth offset and
+        # its inverse differ at floating-point scale even for small moves.
+        moved = HK.offset_m(250.0, -125.0)
+        back = moved.offset_m(-250.0, 125.0)
+        assert math.isclose(back.lat, HK.lat, abs_tol=1e-9)
+        assert math.isclose(back.lng, HK.lng, abs_tol=1e-9)
+        assert haversine_m(HK, back) < 0.01  # metres
+
+    def test_offset_roundtrip_across_antimeridian(self):
+        start = LatLng(10.0, 179.9995)
+        moved = start.offset_m(0.0, 500.0)
+        assert moved.lng < 0.0
+        back = moved.offset_m(0.0, -500.0)
+        assert math.isclose(back.lng, start.lng, abs_tol=1e-9)
+        assert haversine_m(start, back) < 0.01
 
 
 class TestRegion:
