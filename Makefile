@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck bench sweep-smoke verify-smoke figures figures-paper charts examples clean
+.PHONY: install test lint typecheck bench bench-smoke bench-pytest sweep-smoke verify-smoke figures figures-paper charts examples clean
 
 install:
 	pip install -e ".[dev]"
@@ -21,7 +21,16 @@ lint:
 typecheck:
 	PYTHONPATH=src $(PYTHON) scripts/run_typecheck.py
 
+# hot-path performance suite -> BENCH_gpbft.json (docs/performance.md);
+# bench-smoke is the --quick subset CI runs on every push
 bench:
+	PYTHONPATH=src $(PYTHON) -m repro.bench
+
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.bench --quick
+
+# the pytest-benchmark tables/figures suite (one bench per experiment)
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # 2-point parallel sweep through the engine (jobs=2) + docstring gate

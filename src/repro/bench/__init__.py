@@ -1,0 +1,54 @@
+"""Performance benchmarks and the regression gate (``python -m repro.bench``).
+
+The measurement loop for every performance-focused change:
+
+1. ``python -m repro.bench`` runs the registered suite (min-of-k
+   timing, seeded workloads) and writes/merges ``BENCH_gpbft.json``;
+2. ``python -m repro.bench --compare BASELINE.json`` re-runs and exits
+   non-zero when any benchmark regressed beyond the threshold;
+3. ``--profile`` wraps each benchmark in cProfile and prints the top
+   functions, for digging into a regression.
+
+Correctness is gated separately: optimizations must keep the
+``repro.verify`` schedule fingerprints bit-identical (see
+``tests/test_golden_fingerprint.py`` and docs/performance.md).
+"""
+
+from repro.bench.core import (
+    DEFAULT_REPORT,
+    DEFAULT_THRESHOLD,
+    REGISTRY,
+    SCHEMA_VERSION,
+    Benchmark,
+    BenchResult,
+    Comparison,
+    build_report,
+    compare_reports,
+    has_regression,
+    load_report,
+    merge_reports,
+    register,
+    select,
+    time_benchmark,
+    write_report,
+)
+from repro.bench import suites as _suites  # noqa: F401  (registers the suite)
+
+__all__ = [
+    "DEFAULT_REPORT",
+    "DEFAULT_THRESHOLD",
+    "REGISTRY",
+    "SCHEMA_VERSION",
+    "Benchmark",
+    "BenchResult",
+    "Comparison",
+    "build_report",
+    "compare_reports",
+    "has_regression",
+    "load_report",
+    "merge_reports",
+    "register",
+    "select",
+    "time_benchmark",
+    "write_report",
+]

@@ -1,0 +1,130 @@
+"""CLI for the benchmark suite: run, record, compare, profile.
+
+Examples::
+
+    python -m repro.bench                       # full suite -> BENCH_gpbft.json
+    python -m repro.bench --quick               # skip heavy e2e points
+    python -m repro.bench --only codec          # substring filter
+    python -m repro.bench --compare BASE.json   # regression gate
+    python -m repro.bench --profile 10          # cProfile top-10 per benchmark
+
+Exit codes: 0 success, 1 regression beyond the threshold, 2 usage or
+input errors (unknown benchmark filter, unreadable baseline, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+from pathlib import Path
+
+from repro.bench.core import (
+    DEFAULT_REPORT,
+    DEFAULT_THRESHOLD,
+    build_report,
+    compare_reports,
+    has_regression,
+    load_report,
+    select,
+    time_benchmark,
+    write_report,
+)
+from repro.bench import suites  # noqa: F401  (registers the suite)
+from repro.common.errors import ConfigurationError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the G-PBFT performance benchmark suite.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="skip heavy end-to-end benchmarks")
+    parser.add_argument("--only", metavar="SUBSTR",
+                        help="run only benchmarks whose name contains SUBSTR")
+    parser.add_argument("--repeat", type=int, metavar="K",
+                        help="override timed repetitions per benchmark")
+    parser.add_argument("--out", type=Path, default=DEFAULT_REPORT,
+                        help=f"report path (default {DEFAULT_REPORT}); "
+                             "merged into an existing report")
+    parser.add_argument("--no-merge", action="store_true",
+                        help="overwrite --out instead of merging")
+    parser.add_argument("--compare", type=Path, metavar="BASELINE",
+                        help="compare against a baseline report; exit 1 on "
+                             "regression beyond --threshold")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed slowdown fraction for --compare "
+                             f"(default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--profile", type=int, nargs="?", const=12, default=None,
+                        metavar="N", help="cProfile each benchmark, print top N "
+                                          "functions by internal time")
+    return parser
+
+
+def _profile_benchmark(bench, top_n: int) -> None:
+    """Run one benchmark iteration under cProfile and print top-N."""
+    thunk = bench.setup()
+    thunk()  # warm caches so the profile reflects steady state
+    profiler = cProfile.Profile()
+    profiler.enable()
+    thunk()
+    profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("tottime").print_stats(top_n)
+    print(f"-- profile: {bench.name}")
+    print(stream.getvalue())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        picked = select(only=args.only, quick=args.quick)
+        if not picked:
+            print(f"no benchmarks match --only {args.only!r}", file=sys.stderr)
+            return 2
+
+        if args.profile is not None:
+            for bench in picked:
+                _profile_benchmark(bench, args.profile)
+            return 0
+
+        # snapshot the baseline up front: --compare and --out may name
+        # the same file, and the new results must not shadow it
+        baseline = None
+        if args.compare is not None:
+            baseline = load_report(args.compare)
+
+        results = []
+        for bench in picked:
+            result = time_benchmark(bench, repeats=args.repeat)
+            results.append(result)
+            print(f"  {result.name:32s}  best {result.best_s * 1e3:10.3f} ms"
+                  f"  ({result.per_op_s * 1e6:9.3f} us/op,"
+                  f" k={result.repeats})")
+
+        profile = "quick" if args.quick else "full"
+        report = build_report(results, profile)
+        written = write_report(report, args.out, merge=not args.no_merge)
+        print(f"wrote {args.out} ({len(written['benchmarks'])} benchmarks)")
+
+        if baseline is not None:
+            rows = compare_reports(report, baseline, threshold=args.threshold)
+            print(f"compare vs {args.compare} (threshold {args.threshold:.0%}):")
+            for row in rows:
+                print(row.render())
+            if has_regression(rows):
+                print("REGRESSION detected", file=sys.stderr)
+                return 1
+            print("no regressions")
+        return 0
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,271 @@
+"""Benchmark registry, timing protocol, and report/compare machinery.
+
+A benchmark is a named setup function returning a zero-argument thunk;
+the harness times the thunk with a fixed warmup/repeat protocol and
+records the **minimum** of the repeats (min-of-k is the standard noise
+filter for microbenchmarks: the minimum approaches the true cost while
+means absorb scheduler noise).  Workloads are seeded and deterministic;
+only the measured durations vary run to run.
+
+Reports are schema-versioned JSON (:data:`SCHEMA_VERSION`) and
+mergeable: :func:`merge_reports` unions the benchmark sections so a
+quick run can refresh a subset of an existing ``BENCH_gpbft.json``.
+:func:`compare_reports` implements the regression gate behind
+``python -m repro.bench --compare``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import repro
+from repro.common.errors import ConfigurationError
+
+#: Version of the report layout; bump on incompatible changes.
+SCHEMA_VERSION = 1
+
+#: Default report location (repo-root relative; the CLI's --out overrides).
+DEFAULT_REPORT = Path("BENCH_gpbft.json")
+
+#: Default regression threshold: fail --compare when a benchmark is this
+#: fraction slower than its baseline (0.35 == 35% slower).  Generous on
+#: purpose -- CI machines are noisy and min-of-k only filters so much.
+DEFAULT_THRESHOLD = 0.35
+
+
+@dataclass(frozen=True, slots=True)
+class Benchmark:
+    """One registered benchmark.
+
+    Attributes:
+        name: dotted identifier, e.g. ``"codec.encode_prepare"``.
+        setup: builds the workload and returns the thunk to time; runs
+            outside the timed region.
+        ops: operations one thunk call performs (for per-op reporting).
+        repeats: timed repetitions; the minimum is recorded.
+        warmup: untimed thunk calls before measuring.
+        quick: whether the benchmark runs under ``--quick`` (heavy
+            end-to-end points opt out).
+    """
+
+    name: str
+    setup: Callable[[], Callable[[], object]]
+    ops: int = 1
+    repeats: int = 5
+    warmup: int = 1
+    quick: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class BenchResult:
+    """Measured outcome of one benchmark."""
+
+    name: str
+    best_s: float
+    per_op_s: float
+    ops: int
+    repeats: int
+    warmup: int
+
+    def to_json(self) -> dict:
+        """Plain-JSON form of this result (one report entry)."""
+        return {
+            "best_s": self.best_s,
+            "per_op_s": self.per_op_s,
+            "ops": self.ops,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+        }
+
+
+#: The global registry: name -> Benchmark, in registration order.
+REGISTRY: dict[str, Benchmark] = {}
+
+
+def register(bench: Benchmark) -> Benchmark:
+    """Add *bench* to :data:`REGISTRY`.
+
+    Raises:
+        ConfigurationError: on duplicate names or non-positive knobs.
+    """
+    if bench.name in REGISTRY:
+        raise ConfigurationError(f"duplicate benchmark name {bench.name!r}")
+    if bench.ops < 1 or bench.repeats < 1 or bench.warmup < 0:
+        raise ConfigurationError(f"invalid timing knobs for {bench.name!r}")
+    REGISTRY[bench.name] = bench
+    return bench
+
+
+def select(only: str | None = None, quick: bool = False) -> list[Benchmark]:
+    """Registered benchmarks filtered by substring and quick mode."""
+    picked = [
+        REGISTRY[name]
+        for name in sorted(REGISTRY)
+        if only is None or only in name
+    ]
+    if quick:
+        picked = [b for b in picked if b.quick]
+    return picked
+
+
+def time_benchmark(bench: Benchmark, repeats: int | None = None,
+                   warmup: int | None = None) -> BenchResult:
+    """Run *bench* under the warmup/repeat protocol; min-of-k timing.
+
+    The setup runs once (untimed); the thunk then runs ``warmup`` times
+    untimed and ``repeats`` times timed.
+    """
+    thunk = bench.setup()
+    n_warm = bench.warmup if warmup is None else warmup
+    n_rep = max(1, bench.repeats if repeats is None else repeats)
+    for _ in range(n_warm):
+        thunk()
+    best = float("inf")
+    for _ in range(n_rep):
+        started = time.perf_counter()  # gpb: allow GPB001 -- benchmark harness: measures real runtime of code under test; never feeds simulated results
+        thunk()
+        elapsed = time.perf_counter() - started  # gpb: allow GPB001 -- second half of the same wall-clock measurement
+        if elapsed < best:
+            best = elapsed
+    return BenchResult(
+        name=bench.name,
+        best_s=best,
+        per_op_s=best / bench.ops,
+        ops=bench.ops,
+        repeats=n_rep,
+        warmup=n_warm,
+    )
+
+
+# -- reports ------------------------------------------------------------------
+
+
+def build_report(results: list[BenchResult], profile: str) -> dict:
+    """Assemble the schema-versioned JSON report for *results*."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "version": repro.__version__,
+        "profile": profile,
+        "benchmarks": {r.name: r.to_json() for r in results},
+    }
+
+
+def load_report(path: Path) -> dict:
+    """Read and validate a report file.
+
+    Raises:
+        ConfigurationError: on unreadable files or schema mismatch.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read report {path}: {exc}") from exc
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"report {path} has schema {data.get('schema')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    if not isinstance(data.get("benchmarks"), dict):
+        raise ConfigurationError(f"report {path} has no benchmarks section")
+    return data
+
+
+def merge_reports(base: dict, update: dict) -> dict:
+    """Union two reports; *update* wins on benchmark-name collisions.
+
+    Both must carry the current :data:`SCHEMA_VERSION`.  The merged
+    report takes version/profile from *update* (the fresher run).
+    """
+    for report in (base, update):
+        if report.get("schema") != SCHEMA_VERSION:
+            raise ConfigurationError("cannot merge reports across schemas")
+    merged = dict(base["benchmarks"])
+    merged.update(update["benchmarks"])
+    return {
+        "schema": SCHEMA_VERSION,
+        "version": update.get("version", base.get("version")),
+        "profile": update.get("profile", base.get("profile")),
+        "benchmarks": merged,
+    }
+
+
+def write_report(report: dict, path: Path, merge: bool = True) -> dict:
+    """Write *report* to *path*, merging into an existing file by default.
+
+    Returns the report actually written (merged when applicable).  A
+    corrupt or incompatible existing file is overwritten rather than
+    merged, so a bad artifact can never wedge the bench workflow.
+    """
+    path = Path(path)
+    if merge and path.exists():
+        try:
+            report = merge_reports(load_report(path), report)
+        except ConfigurationError:
+            pass  # unreadable/foreign file: replace it
+    path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    return report
+
+
+# -- regression compare -------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """One benchmark's current-vs-baseline verdict."""
+
+    name: str
+    baseline_s: float | None
+    current_s: float | None
+    ratio: float | None
+    status: str  # "ok" | "faster" | "regression" | "missing"
+
+    def render(self) -> str:
+        """One aligned report line for CLI output."""
+        if self.ratio is None:
+            return f"  {self.name:32s}  {self.status}"
+        return (
+            f"  {self.name:32s}  base {self.baseline_s * 1e3:10.3f} ms"
+            f"  now {self.current_s * 1e3:10.3f} ms"
+            f"  x{self.ratio:5.2f}  {self.status}"
+        )
+
+
+def compare_reports(current: dict, baseline: dict,
+                    threshold: float = DEFAULT_THRESHOLD) -> list[Comparison]:
+    """Compare two reports benchmark by benchmark.
+
+    ``ratio = current / baseline``; a benchmark regresses when
+    ``ratio > 1 + threshold``.  Benchmarks present in only one report
+    are flagged ``missing`` but never fail the gate (quick runs cover a
+    subset by design).
+    """
+    if threshold < 0:
+        raise ConfigurationError("threshold must be >= 0")
+    rows: list[Comparison] = []
+    cur = current["benchmarks"]
+    base = baseline["benchmarks"]
+    for name in sorted(set(cur) | set(base)):
+        if name not in cur or name not in base:
+            rows.append(Comparison(name, base.get(name, {}).get("best_s"),
+                                   cur.get(name, {}).get("best_s"),
+                                   None, "missing"))
+            continue
+        b, c = base[name]["best_s"], cur[name]["best_s"]
+        ratio = c / b if b > 0 else float("inf")
+        if ratio > 1.0 + threshold:
+            status = "regression"
+        elif ratio < 1.0 - threshold:
+            status = "faster"
+        else:
+            status = "ok"
+        rows.append(Comparison(name, b, c, ratio, status))
+    return rows
+
+
+def has_regression(rows: list[Comparison]) -> bool:
+    """True iff any comparison row failed the gate."""
+    return any(row.status == "regression" for row in rows)

@@ -1,0 +1,200 @@
+"""The registered benchmark suite: hot paths the experiments stress.
+
+Every benchmark here covers a path that dominates an experiment sweep:
+wire serialization (codec), hashing and HMAC signatures (crypto), the
+discrete-event loop and its cancellation/compaction machinery (sim),
+multicast fan-out through the simulated network (net), quorum
+bookkeeping (pbft), and two end-to-end consensus points at the paper's
+committee cap (n = 40) and full deployment scale (n = 202) reusing the
+exact :func:`~repro.experiments.engine.run_point` dispatch the figures
+run.  Workloads are fixed and seeded, so two runs time identical work.
+
+Importing this module populates :data:`repro.bench.core.REGISTRY`.
+"""
+
+from __future__ import annotations
+
+from repro.bench.core import Benchmark, register
+from repro.codec import decode_prepare, encode_prepare, encode_request, decode_request
+from repro.crypto.hashing import sha256
+from repro.crypto.keys import KeyPair
+from repro.experiments.engine import PointSpec, run_point
+from repro.net.message import RawPayload
+from repro.net.network import SimulatedNetwork
+from repro.net.simulator import Simulator
+from repro.pbft.log import MessageLog
+from repro.pbft.messages import ClientRequest, Commit, Prepare, PrePrepare, RawOperation
+
+#: A 32-byte digest stand-in used by codec/log workloads.
+_DIGEST = bytes(range(32))
+
+
+def _noop() -> None:
+    return None
+
+
+def _codec_encode_prepare():
+    """Encode a prepare vote 2000 times (the dominant wire message)."""
+    msg = Prepare(view=3, seq=17, digest=_DIGEST, sender=5)
+
+    def thunk() -> None:
+        for _ in range(2000):
+            encode_prepare(msg)
+    return thunk
+
+
+def _codec_decode_prepare():
+    """Decode a prepare vote 2000 times."""
+    data = encode_prepare(Prepare(view=3, seq=17, digest=_DIGEST, sender=5))
+
+    def thunk() -> None:
+        for _ in range(2000):
+            decode_prepare(data)
+    return thunk
+
+
+def _codec_request_roundtrip():
+    """Encode+decode a client request (op payload included) 1000 times."""
+    op = RawOperation(op_id="bench-op", size_bytes=64)
+    msg = ClientRequest(client=1, timestamp=2.5, op=op)
+    op_bytes = op.signing_bytes().ljust(op.size_bytes, b"\0")[: op.size_bytes]
+
+    def thunk() -> None:
+        for _ in range(1000):
+            decode_request(encode_request(msg, op_bytes))
+    return thunk
+
+
+def _crypto_sha256():
+    """SHA-256 over a 1 KiB message, 2000 times."""
+    payload = b"\xa5" * 1024
+
+    def thunk() -> None:
+        for _ in range(2000):
+            sha256(payload)
+    return thunk
+
+
+def _crypto_hmac_sign():
+    """HMAC signing of distinct messages (uncached path), 1000 ops."""
+    keys = KeyPair.generate(0)
+    messages = [b"bench:%d" % i for i in range(1000)]
+
+    def thunk() -> None:
+        for message in messages:
+            keys.sign(message)
+    return thunk
+
+
+def _crypto_verify_cached():
+    """Repeated verification of one signature (exercises the cache)."""
+    keys = KeyPair.generate(1)
+    message = b"bench:verify"
+    signature = keys.sign(message)
+
+    def thunk() -> None:
+        for _ in range(1000):
+            keys.verify(message, signature)
+    return thunk
+
+
+def _sim_event_churn():
+    """Schedule 4000 timers, cancel 3 in 4, drain the survivors.
+
+    Exercises scheduling, O(1) cancellation accounting, lazy heap
+    compaction, and the pop/fire loop.
+    """
+
+    def thunk() -> None:
+        sim = Simulator()
+        events = [sim.schedule(1.0 + i * 1e-4, _noop) for i in range(4000)]
+        for i, event in enumerate(events):
+            if i % 4:
+                event.cancel()
+        sim.run()
+    return thunk
+
+
+def _net_multicast_fanout():
+    """One node multicasting to 63 peers, 50 bursts through the loop.
+
+    Covers the encode-once payload cache, per-recipient stats
+    accounting, and the per-node processing chains.
+    """
+
+    def thunk() -> None:
+        sim = Simulator()
+        network = SimulatedNetwork(sim)
+        ids = list(range(64))
+        for node_id in ids:
+            network.register(node_id, _sink)
+        payload = RawPayload("bench.burst", 256)
+        for _ in range(50):
+            network.multicast(0, ids, payload)
+            sim.run()
+    return thunk
+
+
+def _sink(envelope) -> None:
+    return None
+
+
+def _pbft_log_quorum():
+    """Quorum bookkeeping for 20 instances x 27 voters at n = 40."""
+    n = 40
+    voters = list(range(1, 28))
+
+    def thunk() -> None:
+        log = MessageLog(n, 0)
+        for seq in range(1, 21):
+            op = RawOperation(op_id=f"q-{seq}", size_bytes=8)
+            request = ClientRequest(client=100, timestamp=float(seq), op=op)
+            log.add_pre_prepare(PrePrepare(
+                view=0, seq=seq, digest=request.digest(), request=request,
+                sender=0))
+            for sender in voters:
+                log.add_prepare(Prepare(
+                    view=0, seq=seq, digest=request.digest(), sender=sender))
+                log.add_commit(Commit(
+                    view=0, seq=seq, digest=request.digest(), sender=sender))
+            assert log.committed_local(0, seq)
+    return thunk
+
+
+def _e2e_point(n: int):
+    """Setup for an end-to-end PBFT traffic point at *n* nodes."""
+    spec = PointSpec.make("pbft", "traffic", n)
+
+    def thunk() -> float:
+        return run_point(spec)
+    return thunk
+
+
+def _e2e_pbft_n40():
+    """Full consensus round at the paper's committee cap (n = 40)."""
+    return _e2e_point(40)
+
+
+def _e2e_pbft_n202():
+    """Full consensus round at deployment scale (n = 202)."""
+    return _e2e_point(202)
+
+
+#: Suite definitions; importing the module registers them in order.
+SUITE = [
+    Benchmark("codec.encode_prepare", _codec_encode_prepare, ops=2000),
+    Benchmark("codec.decode_prepare", _codec_decode_prepare, ops=2000),
+    Benchmark("codec.request_roundtrip", _codec_request_roundtrip, ops=1000),
+    Benchmark("crypto.sha256_1k", _crypto_sha256, ops=2000),
+    Benchmark("crypto.hmac_sign", _crypto_hmac_sign, ops=1000),
+    Benchmark("crypto.verify_cached", _crypto_verify_cached, ops=1000),
+    Benchmark("sim.event_churn", _sim_event_churn, ops=4000),
+    Benchmark("net.multicast_fanout", _net_multicast_fanout, ops=50 * 63),
+    Benchmark("pbft.log_quorum", _pbft_log_quorum, ops=20 * 27 * 2),
+    Benchmark("e2e.pbft_traffic_n40", _e2e_pbft_n40, repeats=3),
+    Benchmark("e2e.pbft_traffic_n202", _e2e_pbft_n202, repeats=3,
+              warmup=0, quick=False),
+]
+
+for _bench in SUITE:
+    register(_bench)

@@ -43,6 +43,10 @@ class Transaction:
     fee: float
     geo: GeoReport
     payload_bytes: int = 64
+    # memoized id/signing bytes (pure functions of the frozen fields);
+    # excluded from eq/hash/repr
+    _tx_id: str | None = field(default=None, init=False, repr=False, compare=False)
+    _signing: bytes | None = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.sender < 0:
@@ -61,19 +65,29 @@ class Transaction:
 
     @property
     def tx_id(self) -> str:
-        """Content-derived unique identifier."""
-        return sha256_hex(self.signing_bytes())[:32]
+        """Content-derived unique identifier (memoized)."""
+        tx_id = self._tx_id
+        if tx_id is None:
+            tx_id = sha256_hex(self.signing_bytes())[:32]
+            object.__setattr__(self, "_tx_id", tx_id)
+        return tx_id
 
     def signing_bytes(self) -> bytes:
-        """Canonical bytes a sender signs (and the digest preimage)."""
-        return digest_concat(
-            self.kind.encode(),
-            str(self.sender).encode(),
-            str(self.nonce).encode(),
-            repr(self.fee).encode(),
-            repr((self.geo.position.lat, self.geo.position.lng, self.geo.timestamp)).encode(),
-            self._body_bytes(),
-        )
+        """Canonical bytes a sender signs (and the digest preimage, memoized)."""
+        signing = self._signing
+        if signing is None:
+            signing = digest_concat(
+                self.kind.encode(),
+                str(self.sender).encode(),
+                str(self.nonce).encode(),
+                repr(self.fee).encode(),
+                repr(
+                    (self.geo.position.lat, self.geo.position.lng, self.geo.timestamp)
+                ).encode(),
+                self._body_bytes(),
+            )
+            object.__setattr__(self, "_signing", signing)
+        return signing
 
     def _body_bytes(self) -> bytes:
         return b"normal"

@@ -42,6 +42,17 @@ PUBLIC_KEY_BYTES = 32
 # every PBFT deployment assumes (replicas know each other's keys).
 _SECRET_REGISTRY: dict[bytes, bytes] = {}
 
+#: Upper bound on interned verification results; the cache is cleared
+#: wholesale at the bound (simple, and re-verification is always safe).
+_VERIFY_CACHE_MAX = 65536
+
+# Interned verification outcomes keyed by (public key bytes, message
+# digest, signature bytes).  Verification is a pure function of that
+# triple once the key pair exists, so a committee re-checking the same
+# signed message pays the two HMAC rounds only once.  Unknown keys are
+# never cached: registering the pair later must flip the answer.
+_VERIFY_CACHE: dict[tuple[bytes, bytes, bytes], bool] = {}
+
 
 @dataclass(frozen=True, slots=True)
 class Signature:
@@ -78,14 +89,26 @@ class PublicKey:
         private key matching this public key.
 
         Unknown public keys (no registered key pair) verify nothing.
+        Results for known keys are interned in a bounded module cache
+        keyed by (public key, message digest, signature), so quorums
+        re-verifying one broadcast message hash it once and skip the
+        HMAC recomputation afterwards.
         """
         if not isinstance(message, (bytes, bytearray, memoryview)):
             raise TypeError("message must be bytes")
         secret = _SECRET_REGISTRY.get(self.value)
         if secret is None:
             return False
+        key = (self.value, hashlib.sha256(message).digest(), signature.value)
+        cached = _VERIFY_CACHE.get(key)
+        if cached is not None:
+            return cached
         expected = _compute_tag(secret, bytes(message))
-        return hmac.compare_digest(expected, signature.value)
+        ok = hmac.compare_digest(expected, signature.value)
+        if len(_VERIFY_CACHE) >= _VERIFY_CACHE_MAX:
+            _VERIFY_CACHE.clear()
+        _VERIFY_CACHE[key] = ok
+        return ok
 
     @property
     def size_bytes(self) -> int:

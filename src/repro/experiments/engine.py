@@ -113,10 +113,9 @@ class PointSpec:
 def run_point(spec: PointSpec) -> float | list[float] | dict:
     """Run one experiment point; the single dispatch behind every sweep.
 
-    Replaces the four historical entry points (``pbft_latency_point`` /
-    ``gpbft_latency_point`` / ``pbft_traffic_point`` /
-    ``gpbft_traffic_point``, still available as deprecated wrappers)
-    plus the extension TPS/era-churn measurements.
+    Replaces the four historical per-protocol entry points (removed
+    after one release as deprecated wrappers) plus the extension
+    TPS/era-churn measurements.
 
     Returns:
         A list of per-transaction samples for latency points, a single

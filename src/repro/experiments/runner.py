@@ -11,7 +11,6 @@ proposed and the byte counters are diffed around its consensus.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import replace
 
 from repro.common.config import CommitteeConfig, EraConfig, GPBFTConfig
@@ -19,7 +18,7 @@ from repro.common.errors import ConsensusError
 from repro.common.rng import DeterministicRNG
 from repro.core.deployment import GPBFTDeployment
 from repro.core.messages import TxOperation
-from repro.experiments.engine import Engine, PointSpec, run_point
+from repro.experiments.engine import Engine, PointSpec
 from repro.metrics.collector import SweepResult
 from repro.pbft.cluster import PBFTCluster
 from repro.pbft.messages import RawOperation
@@ -121,8 +120,11 @@ def _pbft_latency_point(
         submissions.append((f"{client.node_id}:{op.op_id}", at))
         cluster.sim.schedule_at(at, client.submit, op)
     horizon = 1.0 + total * interval + 100_000.0
+    # hoisted out of the condition: the lambda runs once per simulator
+    # event, so it must not rebuild views of the cluster each call
+    clients = list(cluster.clients.values())  # gpb: allow GPB003 -- only summed over (completion counts), so iteration order is unobservable
     cluster.sim.run_until_condition(
-        lambda: sum(len(c.completed) for c in cluster.clients.values()) >= total,
+        lambda: sum(len(c.completed) for c in clients) >= total,
         horizon=horizon,
         max_events=MAX_EVENTS_PER_RUN,
     )
@@ -200,13 +202,16 @@ def _pbft_traffic_point(n: int, seed: int = 0) -> float:
     cluster = PBFTCluster(n_replicas=n, n_clients=1, config=config)
     before = cluster.network.stats.snapshot()
     cluster.submit(RawOperation(op_id=f"traffic-{seed}", size_bytes=TX_OP_BYTES))
+    # hoisted: ``any_client`` re-resolves the min client id per call and
+    # the condition runs once per simulator event
+    client = cluster.any_client
     cluster.sim.run_until_condition(
-        lambda: len(cluster.any_client.completed) >= 1,
+        lambda: len(client.completed) >= 1,
         horizon=100_000.0,
         max_events=MAX_EVENTS_PER_RUN,
     )
     _note_events(cluster.sim)
-    if not cluster.any_client.completed:
+    if not client.completed:
         raise ConsensusError(f"traffic tx failed to commit at n={n}")
     return cluster.network.stats.snapshot().delta(before).kilobytes_sent
 
@@ -238,75 +243,6 @@ def _gpbft_traffic_point(n: int, seed: int = 0, max_endorsers: int = 40) -> floa
     if not submitter.client.completed:
         raise ConsensusError(f"traffic tx failed to commit at n={n}")
     return dep.network.stats.snapshot().delta(before).kilobytes_sent
-
-
-# -- deprecated per-protocol wrappers ---------------------------------------
-#
-# The historical four-function surface disagreed on which of seed /
-# max_endorsers / profile fields were positional vs keyword; new code
-# should build a PointSpec and call run_point (or Engine.map).  These
-# wrappers keep one release of compatibility.
-
-
-#: Wrapper names that already warned this process (each warns once --
-#: a sweep calling a wrapper per point must not flood the log).
-_deprecation_warned: set[str] = set()
-
-
-def _deprecated(old: str) -> None:
-    if old in _deprecation_warned:
-        return
-    _deprecation_warned.add(old)
-    warnings.warn(
-        f"{old} is deprecated; build a PointSpec and call "
-        "repro.experiments.engine.run_point instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def pbft_latency_point(
-    n: int,
-    seed: int,
-    proposal_period_s: float,
-    measured: int,
-    warmup: int,
-) -> list[float]:
-    """Deprecated wrapper for a PBFT latency :class:`PointSpec`."""
-    _deprecated("pbft_latency_point")
-    return run_point(PointSpec.make(
-        "pbft", "latency", n, seed, proposal_period_s=proposal_period_s,
-        measured=measured, warmup=warmup))
-
-
-def gpbft_latency_point(
-    n: int,
-    seed: int,
-    proposal_period_s: float,
-    measured: int,
-    warmup: int,
-    max_endorsers: int = 40,
-    era_switch_at_tx: int | None = None,
-) -> list[float]:
-    """Deprecated wrapper for a G-PBFT latency :class:`PointSpec`."""
-    _deprecated("gpbft_latency_point")
-    return run_point(PointSpec.make(
-        "gpbft", "latency", n, seed, proposal_period_s=proposal_period_s,
-        measured=measured, warmup=warmup, max_endorsers=max_endorsers,
-        era_switch_at_tx=era_switch_at_tx))
-
-
-def pbft_traffic_point(n: int, seed: int = 0) -> float:
-    """Deprecated wrapper for a PBFT traffic :class:`PointSpec`."""
-    _deprecated("pbft_traffic_point")
-    return run_point(PointSpec.make("pbft", "traffic", n, seed))
-
-
-def gpbft_traffic_point(n: int, seed: int = 0, max_endorsers: int = 40) -> float:
-    """Deprecated wrapper for a G-PBFT traffic :class:`PointSpec`."""
-    _deprecated("gpbft_traffic_point")
-    return run_point(PointSpec.make(
-        "gpbft", "traffic", n, seed, max_endorsers=max_endorsers))
 
 
 # -- sweeps -----------------------------------------------------------------

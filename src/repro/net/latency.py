@@ -54,7 +54,10 @@ class UniformLatency(LatencyModel):
         """Draw one propagation delay for (src, dst)."""
         if self.jitter_s <= 0:
             return self.base_s
-        return self.base_s + rng.uniform(0.0, self.jitter_s)
+        # one next_double scaled by jitter: bit-identical to
+        # rng.uniform(0, jitter) but skips the range arithmetic -- this
+        # runs once per simulated message
+        return self.base_s + self.jitter_s * float(rng.next_double())
 
 
 class LognormalLatency(LatencyModel):

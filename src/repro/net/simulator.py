@@ -8,11 +8,15 @@ this loop; nothing uses wall-clock time.
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable
 
 from repro.common.errors import NetworkError
+
+#: Cancelled entries tolerated in the heap before compaction is even
+#: considered (avoids churning tiny heaps).
+_COMPACT_MIN_CANCELLED = 64
 
 
 class ScheduledEvent:
@@ -23,18 +27,32 @@ class ScheduledEvent:
     of total simulation time at n = 202).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        sim: "Simulator | None" = None,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        # backref for live-event accounting; cleared when the event
+        # leaves the heap so late cancels cannot skew the counter
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancel()
 
 
 class Simulator:
@@ -53,6 +71,9 @@ class Simulator:
         self._counter = itertools.count()
         self._events_processed = 0
         self._step_hook: Callable[[ScheduledEvent], None] | None = None
+        # cancelled events still sitting in the heap; kept exact so
+        # ``pending`` is O(1) and compaction can trigger lazily
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -66,8 +87,13 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired (possibly cancelled) events."""
-        return sum(1 for _, _, e in self._heap if not e.cancelled)
+        """Number of scheduled, not-yet-fired, not-cancelled events."""
+        return len(self._heap) - self._cancelled
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length including cancelled entries (test/diagnostic)."""
+        return len(self._heap)
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Schedule *callback(args)* to run *delay* seconds from now.
@@ -77,15 +103,31 @@ class Simulator:
         """
         if delay < 0:
             raise NetworkError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        event = ScheduledEvent(self._now + delay, next(self._counter), callback, args, self)
+        heappush(self._heap, (event.time, event.seq, event))
+        return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Schedule *callback(args)* at absolute simulated *time*."""
         if time < self._now:
             raise NetworkError(f"cannot schedule at {time} < now {self._now}")
-        event = ScheduledEvent(time, next(self._counter), callback, args)
-        heapq.heappush(self._heap, (event.time, event.seq, event))
+        event = ScheduledEvent(time, next(self._counter), callback, args, self)
+        heappush(self._heap, (event.time, event.seq, event))
         return event
+
+    def _note_cancel(self) -> None:
+        """A live heap entry was cancelled; compact when mostly dead.
+
+        Compaction rebuilds the heap from the surviving entries and
+        re-heapifies.  The (time, seq) total order makes the rebuilt
+        heap pop in exactly the original order, so determinism holds.
+        """
+        self._cancelled += 1
+        if self._cancelled > _COMPACT_MIN_CANCELLED and self._cancelled * 2 > len(self._heap):
+            # in-place so run loops holding a local alias stay coherent
+            self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
+            heapify(self._heap)
+            self._cancelled = 0
 
     def set_step_hook(self, hook: Callable[[ScheduledEvent], None] | None) -> None:
         """Observe every fired event (``None`` detaches).
@@ -100,10 +142,13 @@ class Simulator:
 
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
-        while self._heap:
-            _, _, event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            _, _, event = heappop(heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            event._sim = None
             self._now = event.time
             self._events_processed += 1
             if self._step_hook is not None:
@@ -119,18 +164,28 @@ class Simulator:
         When stopping at *until*, the clock is advanced to exactly
         *until* (events scheduled beyond it remain queued).
         """
+        # step() is inlined below: the loop peeks heap[0] for the stop
+        # checks anyway, so popping directly avoids a second peek and a
+        # method call per event (this loop is the simulation's spine)
         fired = 0
-        while self._heap:
+        heap = self._heap
+        while heap:
             if max_events is not None and fired >= max_events:
                 return fired
-            nxt_time, _, nxt = self._heap[0]
+            nxt_time, _, nxt = heap[0]
             if nxt.cancelled:
-                heapq.heappop(self._heap)
+                heappop(heap)
+                self._cancelled -= 1
                 continue
             if until is not None and nxt_time > until:
                 break
-            if not self.step():
-                break
+            heappop(heap)
+            nxt._sim = None
+            self._now = nxt_time
+            self._events_processed += 1
+            if self._step_hook is not None:
+                self._step_hook(nxt)
+            nxt.callback(*nxt.args)
             fired += 1
         if until is not None and until > self._now:
             self._now = until
@@ -153,17 +208,26 @@ class Simulator:
         Returns:
             True iff the condition was met.
         """
+        # step() inlined as in run(): the cancelled-drain already leaves
+        # a live event at heap[0], so it can be popped and fired directly
         fired = 0
+        heap = self._heap
         while not done():
             if max_events is not None and fired >= max_events:
                 return False
-            while self._heap and self._heap[0][2].cancelled:
-                heapq.heappop(self._heap)
-            if not self._heap:
+            while heap and heap[0][2].cancelled:
+                heappop(heap)
+                self._cancelled -= 1
+            if not heap:
                 return False
-            if horizon is not None and self._heap[0][0] > horizon:
+            if horizon is not None and heap[0][0] > horizon:
                 return False
-            if not self.step():
-                return False
+            _, _, event = heappop(heap)
+            event._sim = None
+            self._now = event.time
+            self._events_processed += 1
+            if self._step_hook is not None:
+                self._step_hook(event)
+            event.callback(*event.args)
             fired += 1
         return True

@@ -20,7 +20,14 @@ from repro.pbft.messages import ClientRequest, Commit, Prepare, PrePrepare
 
 @dataclass
 class InstanceState:
-    """Everything known about one (view, seq) consensus instance."""
+    """Everything known about one (view, seq) consensus instance.
+
+    ``prepared_flag`` and ``committed_flag`` are maintained
+    incrementally by :class:`MessageLog` as votes arrive -- both
+    predicates are monotone (vote sets only grow), so the flags flip
+    once and the hot-path checks become attribute reads instead of
+    re-counting the vote sets per message.
+    """
 
     view: int
     seq: int
@@ -32,6 +39,8 @@ class InstanceState:
     prepare_sent: bool = False
     commit_sent: bool = False
     executed: bool = False
+    prepared_flag: bool = False
+    committed_flag: bool = False
 
     def matches(self, digest: bytes) -> bool:
         """True iff *digest* agrees with the accepted pre-prepare."""
@@ -78,6 +87,19 @@ class MessageLog:
             self._instances[key] = state
         return state
 
+    def get(self, view: int, seq: int) -> InstanceState | None:
+        """The instance record for (view, seq), or None (no creation)."""
+        return self._instances.get((view, seq))
+
+    def _refresh(self, state: InstanceState) -> None:
+        """Re-derive the monotone quorum flags after a vote was added."""
+        if not state.prepared_flag:
+            if state.pre_prepare is not None and len(state.prepares) >= self.prepare_quorum:
+                state.prepared_flag = True
+        if state.prepared_flag and not state.committed_flag:
+            if len(state.commits) >= self.commit_quorum:
+                state.committed_flag = True
+
     def instances(self) -> list[InstanceState]:
         """All tracked instances, in (view, seq) order."""
         return [self._instances[key] for key in sorted(self._instances)]
@@ -109,6 +131,7 @@ class MessageLog:
         state.request = msg.request
         # the primary's pre-prepare doubles as its prepare
         state.prepares.add(msg.sender)
+        self._refresh(state)
         return True
 
     def add_prepare(self, msg: Prepare) -> bool:
@@ -121,6 +144,7 @@ class MessageLog:
         if msg.sender in state.prepares:
             return False
         state.prepares.add(msg.sender)
+        self._refresh(state)
         return True
 
     def add_commit(self, msg: Commit) -> bool:
@@ -133,23 +157,24 @@ class MessageLog:
         if msg.sender in state.commits:
             return False
         state.commits.add(msg.sender)
+        self._refresh(state)
         return True
 
     # -- predicates -------------------------------------------------------------
 
     def prepared(self, view: int, seq: int) -> bool:
-        """Castro-Liskov *prepared*: pre-prepare + 2f distinct prepares."""
+        """Castro-Liskov *prepared*: pre-prepare + 2f distinct prepares.
+
+        Answered from the incrementally maintained flag; the flag is
+        re-derived on every accepted vote, so this is an O(1) read.
+        """
         state = self._instances.get((view, seq))
-        if state is None or state.pre_prepare is None:
-            return False
-        return len(state.prepares) >= self.prepare_quorum  # incl. primary's
+        return state is not None and state.prepared_flag
 
     def committed_local(self, view: int, seq: int) -> bool:
         """*committed-local*: prepared plus 2f+1 matching commits."""
-        if not self.prepared(view, seq):
-            return False
-        state = self._instances[(view, seq)]
-        return len(state.commits) >= self.commit_quorum
+        state = self._instances.get((view, seq))
+        return state is not None and state.committed_flag
 
     # -- view change support -------------------------------------------------
 

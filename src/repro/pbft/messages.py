@@ -9,8 +9,8 @@ single request moves ~81,000 of them, i.e. ~8.6 MB -- the paper reports
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from dataclasses import dataclass, field
+from typing import ClassVar, Protocol, runtime_checkable
 
 from repro.common.errors import ConsensusError
 from repro.crypto.hashing import digest_concat, HASH_BYTES
@@ -18,6 +18,10 @@ from repro.crypto.keys import SIGNATURE_BYTES
 
 _INT_BYTES = 4
 _TS_BYTES = 8
+
+#: Fixed wire size of a prepare/commit: view + seq + sender words, the
+#: request digest and the signature (verified by repro.codec).
+_VOTE_BYTES = 3 * _INT_BYTES + HASH_BYTES + SIGNATURE_BYTES
 
 
 @runtime_checkable
@@ -45,42 +49,67 @@ class RawOperation:
 
     op_id: str
     size_bytes: int = 64
+    # memoized signing bytes; excluded from eq/hash/repr
+    _signing: bytes | None = field(default=None, init=False, repr=False, compare=False)
 
     def signing_bytes(self) -> bytes:
-        """Canonical bytes committed to by request digests."""
-        return b"raw-op:" + self.op_id.encode()
+        """Canonical bytes committed to by request digests (memoized)."""
+        cached = self._signing
+        if cached is None:
+            cached = b"raw-op:" + self.op_id.encode()
+            object.__setattr__(self, "_signing", cached)
+        return cached
 
 
 @dataclass(frozen=True, slots=True)
 class ClientRequest:
-    """<REQUEST, o, t, c>: a client asks the service to execute *op*."""
+    """<REQUEST, o, t, c>: a client asks the service to execute *op*.
+
+    The digest, wire size and request id are immutable functions of the
+    frozen fields, so they are computed once and memoized: every replica
+    re-derives the digest while validating pre-prepares, which made this
+    the hottest hash call in large-committee runs.
+    """
 
     client: int
     timestamp: float
     op: Operation
+    _digest: bytes | None = field(default=None, init=False, repr=False, compare=False)
+    _size: int | None = field(default=None, init=False, repr=False, compare=False)
+    _rid: str | None = field(default=None, init=False, repr=False, compare=False)
 
-    @property
-    def kind(self) -> str:
-        """Message kind for dispatch and traffic accounting."""
-        return "pbft.request"
+    #: Message kind for dispatch and traffic accounting.
+    kind: ClassVar[str] = "pbft.request"
 
     @property
     def size_bytes(self) -> int:
-        """Serialized size in bytes (verified by repro.codec)."""
-        return _INT_BYTES + _TS_BYTES + SIGNATURE_BYTES + self.op.size_bytes
+        """Serialized size in bytes (verified by repro.codec, memoized)."""
+        size = self._size
+        if size is None:
+            size = _INT_BYTES + _TS_BYTES + SIGNATURE_BYTES + self.op.size_bytes
+            object.__setattr__(self, "_size", size)
+        return size
 
     def digest(self) -> bytes:
-        """Request digest carried by pre-prepare/prepare/commit."""
-        return digest_concat(
-            str(self.client).encode(),
-            repr(self.timestamp).encode(),
-            self.op.signing_bytes(),
-        )
+        """Request digest carried by pre-prepare/prepare/commit (memoized)."""
+        digest = self._digest
+        if digest is None:
+            digest = digest_concat(
+                str(self.client).encode(),
+                repr(self.timestamp).encode(),
+                self.op.signing_bytes(),
+            )
+            object.__setattr__(self, "_digest", digest)
+        return digest
 
     @property
     def request_id(self) -> str:
         """Stable id pairing requests with replies and latency events."""
-        return f"{self.client}:{self.op.op_id}"
+        rid = self._rid
+        if rid is None:
+            rid = f"{self.client}:{self.op.op_id}"
+            object.__setattr__(self, "_rid", rid)
+        return rid
 
 
 @dataclass(frozen=True, slots=True)
@@ -100,10 +129,8 @@ class PrePrepare:
         if len(self.digest) != HASH_BYTES:
             raise ConsensusError("pre-prepare digest must be 32 bytes")
 
-    @property
-    def kind(self) -> str:
-        """Message kind for dispatch and traffic accounting."""
-        return "pbft.pre_prepare"
+    #: Message kind for dispatch and traffic accounting.
+    kind: ClassVar[str] = "pbft.pre_prepare"
 
     @property
     def size_bytes(self) -> int:
@@ -122,15 +149,11 @@ class Prepare:
     sender: int
     epoch: int = 0
 
-    @property
-    def kind(self) -> str:
-        """Message kind for dispatch and traffic accounting."""
-        return "pbft.prepare"
+    #: Message kind for dispatch and traffic accounting.
+    kind: ClassVar[str] = "pbft.prepare"
 
-    @property
-    def size_bytes(self) -> int:
-        """Serialized size in bytes (verified by repro.codec)."""
-        return 3 * _INT_BYTES + HASH_BYTES + SIGNATURE_BYTES
+    #: Serialized size in bytes (constant; verified by repro.codec).
+    size_bytes: ClassVar[int] = _VOTE_BYTES
 
 
 @dataclass(frozen=True, slots=True)
@@ -143,15 +166,11 @@ class Commit:
     sender: int
     epoch: int = 0
 
-    @property
-    def kind(self) -> str:
-        """Message kind for dispatch and traffic accounting."""
-        return "pbft.commit"
+    #: Message kind for dispatch and traffic accounting.
+    kind: ClassVar[str] = "pbft.commit"
 
-    @property
-    def size_bytes(self) -> int:
-        """Serialized size in bytes (verified by repro.codec)."""
-        return 3 * _INT_BYTES + HASH_BYTES + SIGNATURE_BYTES
+    #: Serialized size in bytes (constant; verified by repro.codec).
+    size_bytes: ClassVar[int] = _VOTE_BYTES
 
 
 @dataclass(frozen=True, slots=True)
@@ -165,15 +184,11 @@ class Reply:
     request_id: str
     result_digest: bytes
 
-    @property
-    def kind(self) -> str:
-        """Message kind for dispatch and traffic accounting."""
-        return "pbft.reply"
+    #: Message kind for dispatch and traffic accounting.
+    kind: ClassVar[str] = "pbft.reply"
 
-    @property
-    def size_bytes(self) -> int:
-        """Serialized size in bytes (verified by repro.codec)."""
-        return 3 * _INT_BYTES + _TS_BYTES + HASH_BYTES + SIGNATURE_BYTES
+    #: Serialized size in bytes (constant; verified by repro.codec).
+    size_bytes: ClassVar[int] = 3 * _INT_BYTES + _TS_BYTES + HASH_BYTES + SIGNATURE_BYTES
 
 
 @dataclass(frozen=True, slots=True)
@@ -186,15 +201,11 @@ class Checkpoint:
     sender: int
     epoch: int = 0
 
-    @property
-    def kind(self) -> str:
-        """Message kind for dispatch and traffic accounting."""
-        return "pbft.checkpoint"
+    #: Message kind for dispatch and traffic accounting.
+    kind: ClassVar[str] = "pbft.checkpoint"
 
-    @property
-    def size_bytes(self) -> int:
-        """Serialized size in bytes (verified by repro.codec)."""
-        return 2 * _INT_BYTES + HASH_BYTES + SIGNATURE_BYTES
+    #: Serialized size in bytes (constant; verified by repro.codec).
+    size_bytes: ClassVar[int] = 2 * _INT_BYTES + HASH_BYTES + SIGNATURE_BYTES
 
 
 @dataclass(frozen=True, slots=True)
@@ -231,10 +242,8 @@ class ViewChange:
     sender: int
     epoch: int = 0
 
-    @property
-    def kind(self) -> str:
-        """Message kind for dispatch and traffic accounting."""
-        return "pbft.view_change"
+    #: Message kind for dispatch and traffic accounting.
+    kind: ClassVar[str] = "pbft.view_change"
 
     @property
     def size_bytes(self) -> int:
@@ -259,10 +268,8 @@ class NewView:
     sender: int
     epoch: int = 0
 
-    @property
-    def kind(self) -> str:
-        """Message kind for dispatch and traffic accounting."""
-        return "pbft.new_view"
+    #: Message kind for dispatch and traffic accounting.
+    kind: ClassVar[str] = "pbft.new_view"
 
     @property
     def size_bytes(self) -> int:

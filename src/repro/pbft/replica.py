@@ -97,6 +97,9 @@ class PBFTReplica:
         self.committee = tuple(committee)
         if len(set(self.committee)) != len(self.committee):
             raise ConsensusError("committee contains duplicate ids")
+        # membership checks run once per vote received; at n=202 a tuple
+        # scan is ~100 comparisons, a frozenset probe is one hash
+        self._committee_set = frozenset(self.committee)
         if node_id not in self.committee:
             raise ConsensusError(f"replica {node_id} not in committee {self.committee}")
         self.node_id = node_id
@@ -183,8 +186,16 @@ class PBFTReplica:
         self._send(dst, payload)
 
     def _multicast(self, payload) -> None:
+        # fault models are pure per-call (see FaultModel), so one
+        # suppress check covers the whole fan-out; the loop then stays
+        # free of per-destination attribute lookups
+        if self.faults.suppress_send(payload.kind):
+            return
+        send = self._send
+        me = self.node_id
         for dst in self.committee:
-            self._unicast(dst, payload)
+            if dst != me:
+                send(dst, payload)
 
     def shutdown(self) -> None:
         """Stop participating and cancel every pending timer.
@@ -240,15 +251,17 @@ class PBFTReplica:
             return
         if getattr(payload, "epoch", self.epoch) != self.epoch:
             return  # stale traffic from another era
+        # ordered by observed frequency: prepares/commits are O(n^2) per
+        # instance, everything else O(n) or rarer
         kind = payload.kind
-        if kind == "pbft.request":
-            self.on_request(payload)
-        elif kind == "pbft.pre_prepare":
-            self.on_pre_prepare(payload)
-        elif kind == "pbft.prepare":
+        if kind == "pbft.prepare":
             self.on_prepare(payload)
         elif kind == "pbft.commit":
             self.on_commit(payload)
+        elif kind == "pbft.pre_prepare":
+            self.on_pre_prepare(payload)
+        elif kind == "pbft.request":
+            self.on_request(payload)
         elif kind == "pbft.checkpoint":
             self.on_checkpoint(payload)
         elif kind == "pbft.view_change":
@@ -351,15 +364,17 @@ class PBFTReplica:
             return
         if msg.view != self.view or self.in_view_change:
             return
-        if msg.sender not in self.committee:
+        if msg.sender not in self._committee_set:
             return
         self.log.add_prepare(msg)
         self._maybe_commit(msg.view, msg.seq)
 
     def _maybe_commit(self, view: int, seq: int) -> None:
-        if not self.log.prepared(view, seq):
+        # single lookup; the incremental quorum flags make both phase
+        # checks plain attribute reads (this runs once per vote received)
+        state = self.log.get(view, seq)
+        if state is None or not state.prepared_flag:
             return
-        state = self.log.instance(view, seq)
         if not state.commit_sent:
             state.commit_sent = True
             commit = Commit(
@@ -368,7 +383,8 @@ class PBFTReplica:
             )
             self._multicast(commit)
             self.log.add_commit(commit)
-        self._maybe_execute(view, seq)
+        if state.committed_flag:
+            self._maybe_execute(state)
 
     def on_commit(self, msg: Commit) -> None:
         """Record a peer's commit and execute once committed-local."""
@@ -377,17 +393,18 @@ class PBFTReplica:
             return
         if msg.view != self.view or self.in_view_change:
             return
-        if msg.sender not in self.committee:
+        if msg.sender not in self._committee_set:
             return
         self.log.add_commit(msg)
         self._maybe_commit(msg.view, msg.seq)
 
     # -- execution ---------------------------------------------------------------------
 
-    def _maybe_execute(self, view: int, seq: int) -> None:
-        if not self.log.committed_local(view, seq):
+    def _maybe_execute(self, instance) -> None:
+        if not instance.committed_flag:
             return
-        self._committed_by_seq.setdefault(seq, (view, seq))
+        seq = instance.seq
+        self._committed_by_seq.setdefault(seq, (instance.view, seq))
         # execute every consecutive committed sequence
         while True:
             nxt = self.last_executed + 1
@@ -443,7 +460,7 @@ class PBFTReplica:
 
     def on_checkpoint(self, msg: Checkpoint) -> None:
         """Collect checkpoint votes; 2f+1 matching -> stable, GC the log."""
-        if msg.sender not in self.committee:
+        if msg.sender not in self._committee_set:
             return
         self._note_checkpoint(msg)
 
@@ -564,7 +581,7 @@ class PBFTReplica:
 
     def on_view_change(self, msg: ViewChange) -> None:
         """Collect view-change votes; lead or join as appropriate."""
-        if msg.sender not in self.committee or msg.new_view <= self.view:
+        if msg.sender not in self._committee_set or msg.new_view <= self.view:
             return
         self._note_view_change(msg)
 

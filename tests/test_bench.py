@@ -1,0 +1,200 @@
+"""Unit tests for the benchmark registry, timing, reports, and compare gate."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_THRESHOLD,
+    REGISTRY,
+    SCHEMA_VERSION,
+    Benchmark,
+    build_report,
+    compare_reports,
+    has_regression,
+    load_report,
+    merge_reports,
+    register,
+    select,
+    time_benchmark,
+    write_report,
+)
+from repro.bench.__main__ import main as bench_main
+from repro.common.errors import ConfigurationError
+
+
+def _counting_bench(name="t.counting", **kwargs):
+    calls = []
+
+    def setup():
+        def thunk():
+            calls.append(1)
+        return thunk
+
+    return Benchmark(name, setup, **kwargs), calls
+
+
+class TestRegistry:
+    def test_suite_is_registered_on_import(self):
+        assert len(REGISTRY) >= 8
+        assert "codec.encode_prepare" in REGISTRY
+        assert "e2e.pbft_traffic_n202" in REGISTRY
+
+    def test_duplicate_name_rejected(self):
+        bench, _ = _counting_bench(name="codec.encode_prepare")
+        with pytest.raises(ConfigurationError):
+            register(bench)
+
+    def test_bad_knobs_rejected(self):
+        bench, _ = _counting_bench(name="t.bad", repeats=0)
+        with pytest.raises(ConfigurationError):
+            register(bench)
+
+    def test_select_filters_by_substring_and_quick(self):
+        picked = select(only="codec")
+        assert picked and all("codec" in b.name for b in picked)
+        assert [b.name for b in picked] == sorted(b.name for b in picked)
+        quick = select(quick=True)
+        assert all(b.quick for b in quick)
+        assert "e2e.pbft_traffic_n202" not in {b.name for b in quick}
+
+    def test_select_no_match_is_empty(self):
+        assert select(only="no-such-benchmark") == []
+
+
+class TestTiming:
+    def test_warmup_and_repeats_counted(self):
+        bench, calls = _counting_bench(repeats=4, warmup=2, ops=10)
+        result = time_benchmark(bench)
+        assert len(calls) == 6  # 2 warmup + 4 timed
+        assert result.repeats == 4 and result.warmup == 2
+        assert result.best_s >= 0.0
+        assert result.per_op_s == pytest.approx(result.best_s / 10)
+
+    def test_repeat_override(self):
+        bench, calls = _counting_bench(repeats=5, warmup=0)
+        result = time_benchmark(bench, repeats=2)
+        assert len(calls) == 2
+        assert result.repeats == 2
+
+
+class TestReports:
+    def _report(self, **benches):
+        results = [
+            time_benchmark(_counting_bench(name=name, warmup=0, repeats=1)[0])
+            for name in benches or ("a.one", "b.two")
+        ]
+        return build_report(results, "full")
+
+    def test_roundtrip(self, tmp_path):
+        report = self._report()
+        path = tmp_path / "r.json"
+        write_report(report, path, merge=False)
+        loaded = load_report(path)
+        assert loaded["schema"] == SCHEMA_VERSION
+        assert set(loaded["benchmarks"]) == {"a.one", "b.two"}
+
+    def test_load_rejects_schema_mismatch(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "benchmarks": {}}))
+        with pytest.raises(ConfigurationError):
+            load_report(path)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json")
+        with pytest.raises(ConfigurationError):
+            load_report(path)
+
+    def test_merge_update_wins(self):
+        base = {"schema": SCHEMA_VERSION, "version": "1", "profile": "full",
+                "benchmarks": {"x": {"best_s": 1.0}, "y": {"best_s": 2.0}}}
+        update = {"schema": SCHEMA_VERSION, "version": "2", "profile": "quick",
+                  "benchmarks": {"y": {"best_s": 9.0}, "z": {"best_s": 3.0}}}
+        merged = merge_reports(base, update)
+        assert set(merged["benchmarks"]) == {"x", "y", "z"}
+        assert merged["benchmarks"]["y"]["best_s"] == 9.0
+        assert merged["version"] == "2"
+
+    def test_write_merges_into_existing(self, tmp_path):
+        path = tmp_path / "r.json"
+        write_report(self._report(**{"a.one": 1}), path)
+        written = write_report(self._report(**{"c.three": 1}), path)
+        assert set(written["benchmarks"]) == {"a.one", "c.three"}
+        assert set(load_report(path)["benchmarks"]) == {"a.one", "c.three"}
+
+    def test_write_replaces_corrupt_file(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text("wedged")
+        write_report(self._report(), path)
+        assert set(load_report(path)["benchmarks"]) == {"a.one", "b.two"}
+
+
+class TestCompare:
+    def _report_for(self, times):
+        return {"schema": SCHEMA_VERSION, "version": "t", "profile": "full",
+                "benchmarks": {n: {"best_s": t} for n, t in times.items()}}
+
+    def test_self_compare_is_green(self):
+        report = self._report_for({"a": 1.0, "b": 0.5})
+        rows = compare_reports(report, report)
+        assert all(r.status == "ok" for r in rows)
+        assert not has_regression(rows)
+
+    def test_planted_regression_fails_gate(self):
+        baseline = self._report_for({"a": 1.0, "b": 1.0})
+        current = self._report_for({"a": 1.0 + 2 * DEFAULT_THRESHOLD,
+                                    "b": 1.0})
+        rows = compare_reports(current, baseline)
+        by_name = {r.name: r for r in rows}
+        assert by_name["a"].status == "regression"
+        assert by_name["b"].status == "ok"
+        assert has_regression(rows)
+
+    def test_faster_and_missing_never_fail(self):
+        baseline = self._report_for({"a": 1.0, "gone": 1.0})
+        current = self._report_for({"a": 0.1, "new": 1.0})
+        rows = compare_reports(current, baseline)
+        by_name = {r.name: r for r in rows}
+        assert by_name["a"].status == "faster"
+        assert by_name["gone"].status == "missing"
+        assert by_name["new"].status == "missing"
+        assert not has_regression(rows)
+        for row in rows:
+            assert row.render()  # all statuses render without error
+
+    def test_threshold_validated(self):
+        report = self._report_for({"a": 1.0})
+        with pytest.raises(ConfigurationError):
+            compare_reports(report, report, threshold=-0.1)
+
+    def test_threshold_widens_gate(self):
+        baseline = self._report_for({"a": 1.0})
+        current = self._report_for({"a": 1.5})
+        assert has_regression(compare_reports(current, baseline,
+                                              threshold=0.2))
+        assert not has_regression(compare_reports(current, baseline,
+                                                  threshold=1.0))
+
+
+class TestCli:
+    def test_quick_subset_run_and_self_compare(self, tmp_path):
+        out = tmp_path / "bench.json"
+        # first run writes the report...
+        assert bench_main(["--only", "crypto.sha256", "--repeat", "1",
+                           "--out", str(out)]) == 0
+        # ...second run compares against it (same workload: no regression)
+        assert bench_main(["--only", "crypto.sha256", "--repeat", "1",
+                           "--out", str(out), "--compare", str(out),
+                           "--threshold", "100"]) == 0
+        report = load_report(out)
+        assert "crypto.sha256_1k" in report["benchmarks"]
+
+    def test_unknown_filter_exits_2(self, tmp_path):
+        assert bench_main(["--only", "no-such-benchmark",
+                           "--out", str(tmp_path / "r.json")]) == 2
+
+    def test_missing_baseline_exits_2(self, tmp_path):
+        assert bench_main(["--only", "crypto.sha256", "--repeat", "1",
+                           "--out", str(tmp_path / "r.json"),
+                           "--compare", str(tmp_path / "absent.json")]) == 2

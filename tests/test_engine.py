@@ -6,7 +6,6 @@ because every point derives all randomness from ``DeterministicRNG``.
 """
 
 import json
-import warnings
 
 import pytest
 
@@ -14,13 +13,7 @@ import repro
 from repro.common.errors import ConfigurationError
 from repro.experiments import runner
 from repro.experiments.engine import Engine, PointSpec, run_point
-from repro.experiments.runner import (
-    gpbft_latency_point,
-    latency_sweep,
-    pbft_latency_point,
-    pbft_traffic_point,
-    traffic_sweep,
-)
+from repro.experiments.runner import latency_sweep, traffic_sweep
 from repro.metrics.collector import SweepResult
 
 #: Small-but-real latency point params shared across tests.
@@ -63,12 +56,12 @@ class TestPointSpec:
 
 
 class TestRunPoint:
-    def test_dispatch_matches_deprecated_wrappers(self):
+    def test_dispatch_matches_point_impl(self):
+        # the spec dispatch must hit the same implementation (and value)
+        # as calling the point function directly
         spec = PointSpec.make("pbft", "latency", 4, 7, **LAT)
-        runner._deprecation_warned.discard("pbft_latency_point")
-        with pytest.deprecated_call():
-            legacy = pbft_latency_point(4, 7, 600.0, 2, 1)
-        assert run_point(spec) == legacy
+        direct = runner._pbft_latency_point(4, 7, 600.0, 2, 1)
+        assert run_point(spec) == direct
 
     def test_traffic_dispatch(self):
         spec = PointSpec.make("gpbft", "traffic", 10, 0, max_endorsers=8)
@@ -80,28 +73,11 @@ class TestRunPoint:
         with pytest.raises(ConfigurationError):
             run_point(bad)
 
-    def test_wrappers_warn_deprecation(self):
-        runner._deprecation_warned.discard("pbft_traffic_point")
-        runner._deprecation_warned.discard("gpbft_latency_point")
-        with pytest.deprecated_call():
-            pbft_traffic_point(4)
-        with pytest.deprecated_call():
-            gpbft_latency_point(8, 1, 600.0, 2, 1, max_endorsers=8)
-
-    def test_wrappers_warn_exactly_once(self):
-        # deprecation noise is rate-limited: a sweep that calls a legacy
-        # wrapper 100 times warns on the first call only
-        runner._deprecation_warned.discard("gpbft_traffic_point")
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            first = runner.gpbft_traffic_point(8, max_endorsers=8)
-            second = runner.gpbft_traffic_point(8, max_endorsers=8)
-        assert first == second
-        deprecations = [w for w in caught
-                        if issubclass(w.category, DeprecationWarning)
-                        and "gpbft_traffic_point" in str(w.message)]
-        assert len(deprecations) == 1
-        assert "run_point" in str(deprecations[0].message)
+    def test_deprecated_wrappers_removed(self):
+        # the pre-PR1 quartet completed its one release of compatibility
+        for name in ("pbft_latency_point", "gpbft_latency_point",
+                     "pbft_traffic_point", "gpbft_traffic_point"):
+            assert not hasattr(runner, name)
 
 
 class TestEngineCache:

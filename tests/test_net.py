@@ -264,6 +264,108 @@ class TestSimulatedNetwork:
         assert net.stats.bytes_sent == 150
 
 
+class TestSimulatorCompaction:
+    def _noop(self):
+        pass
+
+    def test_mass_cancellation_keeps_heap_bounded(self):
+        # 5000 timers, 4000 cancelled: the live counter must stay exact
+        # and lazy compaction must shrink the heap well below the number
+        # of cancelled entries ever created
+        sim = Simulator()
+        events = [sim.schedule(1.0 + i * 1e-3, self._noop) for i in range(5000)]
+        assert sim.pending == 5000 and sim.heap_size == 5000
+        for event in events[:4000]:
+            event.cancel()
+        assert sim.pending == 1000
+        # compaction triggered at least once: without it the heap would
+        # still hold all 5000 entries
+        assert sim.heap_size <= 1500
+        fired = sim.run()
+        assert fired == 1000
+        assert sim.pending == 0 and sim.heap_size == 0
+
+    def test_cancel_is_idempotent_for_accounting(self):
+        sim = Simulator()
+        keep = sim.schedule(2.0, self._noop)
+        victim = sim.schedule(1.0, self._noop)
+        victim.cancel()
+        victim.cancel()  # second cancel must not decrement again
+        assert sim.pending == 1
+        assert sim.run() == 1
+        keep.cancel()  # cancelling after firing is a no-op
+        assert sim.pending == 0
+
+    def test_pending_tracks_pops_of_cancelled_entries(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), self._noop) for i in range(30)]
+        for event in events[::2]:
+            event.cancel()  # below the compaction floor: entries stay
+        assert sim.pending == 15 and sim.heap_size == 30
+        sim.run()
+        assert sim.pending == 0 and sim.heap_size == 0
+        assert sim.events_processed == 15
+
+
+class TestStatsUnderMulticast:
+    def _net(self):
+        sim = Simulator()
+        return sim, SimulatedNetwork(sim, NetworkConfig(envelope_overhead_bytes=20))
+
+    def test_bytes_charged_per_recipient(self):
+        # encode-once computes kind/size a single time per burst, but
+        # every recipient must still be charged the full message size
+        sim, net = self._net()
+        for i in range(5):
+            net.register(i, lambda e: None)
+        net.multicast(0, range(5), RawPayload("pbft.prepare", 100))
+        sim.run()
+        assert net.stats.messages_sent == 4
+        assert net.stats.bytes_sent == 4 * 120
+        assert net.stats.messages_by_kind == {"pbft.prepare": 4}
+        assert net.stats.bytes_by_kind == {"pbft.prepare": 4 * 120}
+        assert net.stats.messages_delivered == 4
+        assert net.stats.bytes_delivered == 4 * 120
+        for dst in range(1, 5):
+            assert net.stats.bytes_received_by_node[dst] == 120
+        assert net.stats.bytes_sent_by_node[0] == 4 * 120
+
+    def test_multicast_accounting_identical_to_individual_sends(self):
+        # same traffic, two paths: one payload object fanned out (hits
+        # the single-entry payload cache) vs a fresh payload per send
+        # (cache miss every time) -- every counter must agree
+        sim_a, net_a = self._net()
+        sim_b, net_b = self._net()
+        for net in (net_a, net_b):
+            for i in range(6):
+                net.register(i, lambda e: None)
+        shared = RawPayload("pbft.commit", 108)
+        net_a.multicast(0, range(6), shared)
+        for dst in range(1, 6):
+            net_b.send(0, dst, RawPayload("pbft.commit", 108))
+        sim_a.run()
+        sim_b.run()
+        assert net_a.stats.snapshot() == net_b.stats.snapshot()
+        assert dict(net_a.stats.bytes_received_by_node) == \
+            dict(net_b.stats.bytes_received_by_node)
+
+    def test_interleaved_kinds_bust_the_payload_cache_correctly(self):
+        # alternating payload objects means every send misses the
+        # identity cache; per-kind accounting must stay exact
+        sim, net = self._net()
+        for i in range(3):
+            net.register(i, lambda e: None)
+        a = RawPayload("kind.a", 10)
+        b = RawPayload("kind.b", 30)
+        for _ in range(4):
+            net.send(0, 1, a)
+            net.send(0, 2, b)
+        sim.run()
+        assert net.stats.bytes_by_kind == {"kind.a": 4 * 30, "kind.b": 4 * 50}
+        assert net.stats.messages_by_kind == {"kind.a": 4, "kind.b": 4}
+        assert net.stats.messages_delivered == 8
+
+
 class TestTrafficStats:
     def test_snapshot_delta(self):
         stats = TrafficStats()
