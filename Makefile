@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck bench bench-smoke bench-pytest sweep-smoke verify-smoke figures figures-paper charts examples clean
+.PHONY: install test lint typecheck bench bench-smoke bench-pytest sweep-smoke verify-smoke trace-smoke figures figures-paper charts examples clean
 
 install:
 	pip install -e ".[dev]"
@@ -49,6 +49,14 @@ verify-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments verify \
 		--protocol gpbft --n 6 --seeds 2 --submissions 2 --horizon 90 \
 		--out results/repro
+
+# instrumented capture -> chrome trace + span dump, schema-validated,
+# phase-breakdown report printed (docs/observability.md)
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.obs capture --protocol gpbft \
+		-n 10 --submissions 5 --seed 7 --horizon 40 --era-switch-at 8 \
+		--trace trace.json --spans spans.jsonl --report
+	PYTHONPATH=src $(PYTHON) -m repro.obs validate trace.json
 
 # every table and figure, quick profile, text + SVG under results/
 figures:

@@ -10,6 +10,7 @@ from typing import Iterable, Sequence
 from repro.analysis.baseline import Baseline, inline_allowed
 from repro.analysis.drules import determinism_rules
 from repro.analysis.findings import Finding
+from repro.analysis.orules import observability_rules
 from repro.analysis.prules import protocol_rules
 from repro.analysis.rules import Module, Project, Rule
 from repro.common.errors import ConfigurationError
@@ -20,7 +21,7 @@ _SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
 
 def all_rules() -> list[Rule]:
     """The registered rule set, in id order."""
-    rules = [*determinism_rules(), *protocol_rules()]
+    rules = [*determinism_rules(), *protocol_rules(), *observability_rules()]
     return sorted(rules, key=lambda r: r.rule_id)
 
 

@@ -78,6 +78,25 @@ def _profile_benchmark(bench, top_n: int) -> None:
     print(stream.getvalue())
 
 
+def _instrument_snapshot() -> dict:
+    """Phase-attribution context recorded next to the timings.
+
+    One small instrumented G-PBFT run (n=10); its quorum-wait and
+    traffic instruments give a bench report the "where does the time
+    go" context that raw wall-clock numbers lack (see
+    docs/observability.md).
+    """
+    from repro.obs.capture import capture_run
+
+    capture = capture_run(protocol="gpbft", n=10, submissions=4,
+                          seed=0, horizon_s=30.0)
+    return {
+        "scenario": {"protocol": "gpbft", "n": 10, "submissions": 4,
+                     "seed": 0, "horizon_s": 30.0},
+        "snapshot": capture.snapshot(),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -108,6 +127,7 @@ def main(argv: list[str] | None = None) -> int:
 
         profile = "quick" if args.quick else "full"
         report = build_report(results, profile)
+        report["instruments"] = _instrument_snapshot()
         written = write_report(report, args.out, merge=not args.no_merge)
         print(f"wrote {args.out} ({len(written['benchmarks'])} benchmarks)")
 

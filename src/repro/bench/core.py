@@ -185,12 +185,17 @@ def merge_reports(base: dict, update: dict) -> dict:
             raise ConfigurationError("cannot merge reports across schemas")
     merged = dict(base["benchmarks"])
     merged.update(update["benchmarks"])
-    return {
+    out = {
         "schema": SCHEMA_VERSION,
         "version": update.get("version", base.get("version")),
         "profile": update.get("profile", base.get("profile")),
         "benchmarks": merged,
     }
+    # phase-attribution context from repro.obs rides along when present
+    instruments = update.get("instruments", base.get("instruments"))
+    if instruments is not None:
+        out["instruments"] = instruments
+    return out
 
 
 def write_report(report: dict, path: Path, merge: bool = True) -> dict:

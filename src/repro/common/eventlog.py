@@ -5,12 +5,78 @@ system, when each phase transition fired, when era switches started and
 finished.  :class:`EventLog` is an append-only, time-ordered record that
 experiments query after the run (e.g. to compute consensus latency as
 ``committed.at - submitted.at``).
+
+This module is also the single home of the event-kind vocabulary: every
+kind ever recorded into an :class:`EventLog` is a module-level ``EV_*``
+constant below, and consumers (replicas, monitors, metrics, the
+observability layer) import those constants instead of repeating the
+strings.  The static analyzer's GPB009 rule reads the ``EV_*``
+assignments straight from this module's AST and flags raw event-kind
+literals anywhere else, so a typo'd kind cannot silently split the
+vocabulary.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
+
+# -- event-kind vocabulary -------------------------------------------------
+# Request lifecycle (client side).
+EV_REQUEST_SUBMITTED = "request.submitted"
+EV_REQUEST_COMPLETED = "request.completed"
+
+# PBFT replica protocol events.
+EV_PBFT_ASSIGNED = "pbft.assigned"
+EV_PBFT_EXECUTED = "pbft.executed"
+EV_PBFT_CHECKPOINT_STABLE = "pbft.checkpoint_stable"
+EV_PBFT_STATE_TRANSFER = "pbft.state_transfer"
+EV_PBFT_VIEW_CHANGE = "pbft.view_change"
+EV_PBFT_NEW_VIEW = "pbft.new_view"
+EV_PBFT_ENTERED_VIEW = "pbft.entered_view"
+
+# Chain / transaction events.
+EV_TX_SUBMITTED = "tx.submitted"
+EV_TX_COMMITTED = "tx.committed"
+EV_BLOCK_PROPOSED = "block.proposed"
+EV_BLOCK_COMMITTED = "block.committed"
+EV_BLOCK_REJECTED = "block.rejected"
+
+# G-PBFT node / election / era events.
+EV_GEO_REPORT_REJECTED = "geo.report_rejected"
+EV_GPBFT_AUDIT = "gpbft.audit"
+EV_GPBFT_ACTIVATED = "gpbft.activated"
+EV_GPBFT_DEACTIVATED = "gpbft.deactivated"
+EV_GPBFT_HALTED_BELOW_MINIMUM = "gpbft.halted_below_minimum"
+EV_ERA_SWITCH_PROPOSED = "era.switch_proposed"
+EV_ERA_SWITCH_STARTED = "era.switch_started"
+EV_ERA_SWITCH_COMPLETED = "era.switch_completed"
+
+#: Every registered event kind (validation and test support).
+EVENT_KINDS: frozenset[str] = frozenset({
+    EV_REQUEST_SUBMITTED,
+    EV_REQUEST_COMPLETED,
+    EV_PBFT_ASSIGNED,
+    EV_PBFT_EXECUTED,
+    EV_PBFT_CHECKPOINT_STABLE,
+    EV_PBFT_STATE_TRANSFER,
+    EV_PBFT_VIEW_CHANGE,
+    EV_PBFT_NEW_VIEW,
+    EV_PBFT_ENTERED_VIEW,
+    EV_TX_SUBMITTED,
+    EV_TX_COMMITTED,
+    EV_BLOCK_PROPOSED,
+    EV_BLOCK_COMMITTED,
+    EV_BLOCK_REJECTED,
+    EV_GEO_REPORT_REJECTED,
+    EV_GPBFT_AUDIT,
+    EV_GPBFT_ACTIVATED,
+    EV_GPBFT_DEACTIVATED,
+    EV_GPBFT_HALTED_BELOW_MINIMUM,
+    EV_ERA_SWITCH_PROPOSED,
+    EV_ERA_SWITCH_STARTED,
+    EV_ERA_SWITCH_COMPLETED,
+})
 
 
 @dataclass(frozen=True, slots=True)

@@ -9,6 +9,8 @@ protocols behind one interface.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.common.config import GPBFTConfig
 from repro.common.errors import ConsensusError
 from repro.common.eventlog import EventLog
@@ -19,6 +21,9 @@ from repro.geo.coords import LatLng, Region
 from repro.geo.index import IndexedDirectory
 from repro.net.network import SimulatedNetwork
 from repro.net.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.core import Observability
 
 #: Default deployment area: a ~1 km-square city district (Hong Kong).
 DEFAULT_REGION = Region.around(LatLng(22.3193, 114.1694), half_side_m=500.0)
@@ -65,6 +70,7 @@ class GPBFTDeployment:
         sybil_protection: bool = False,
         witness_range_m: float = 150.0,
         faults: dict | None = None,
+        obs: "Observability | None" = None,
     ) -> None:
         self.config = config or GPBFTConfig()
         policy = self.config.committee
@@ -85,6 +91,9 @@ class GPBFTDeployment:
             self.sim, self.config.network, rng=DeterministicRNG(seed, "network")
         )
         self.events = EventLog()
+        self.obs = obs
+        if obs is not None:
+            obs.bind(self.sim, self.network)
         self.region = region
         self.mode = mode
         self.monitors = None
@@ -125,6 +134,7 @@ class GPBFTDeployment:
                 mode=mode,
                 block_interval_s=block_interval_s,
                 faults=(faults or {}).get(node_id),
+                obs=obs,
             )
             node._chain_sync_hook = self._chain_sync
             self.nodes[node_id] = node

@@ -11,6 +11,10 @@ no-commit-during-switch invariant.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.core import Observability
 
 from repro.common.errors import EraSwitchError
 
@@ -37,7 +41,15 @@ class EraRecord:
 class EraHistory:
     """Append-only record of eras and the switch periods between them."""
 
-    def __init__(self, initial_committee, started_at: float = 0.0) -> None:
+    def __init__(
+        self,
+        initial_committee,
+        started_at: float = 0.0,
+        obs: "Observability | None" = None,
+        owner: int = -1,
+    ) -> None:
+        self._obs = obs
+        self._owner = owner
         first = EraRecord(
             era=0,
             committee=tuple(sorted(initial_committee)),
@@ -71,6 +83,8 @@ class EraHistory:
         if self._switching_since is not None:
             raise EraSwitchError("era switch already in progress")
         self._switching_since = at
+        if self._obs is not None:
+            self._obs.era_switch_started(self._owner, self.current.era + 1, at)
 
     def complete_switch(self, at: float, committee) -> EraRecord:
         """Finish the switch: the next era starts now with *committee*.
@@ -91,6 +105,9 @@ class EraHistory:
         )
         self._records.append(record)
         self._switching_since = None
+        if self._obs is not None:
+            self._obs.era_switch_completed(
+                self._owner, record.era, at, committee_size=len(record.committee))
         return record
 
     def validate(self) -> None:

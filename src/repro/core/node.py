@@ -25,7 +25,22 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.common.config import GPBFTConfig
 from repro.common.errors import ChainError, ConsensusError, ForkError, GeoError
-from repro.common.eventlog import EventLog
+from repro.common.eventlog import (
+    EV_BLOCK_COMMITTED,
+    EV_BLOCK_PROPOSED,
+    EV_BLOCK_REJECTED,
+    EV_ERA_SWITCH_COMPLETED,
+    EV_ERA_SWITCH_PROPOSED,
+    EV_ERA_SWITCH_STARTED,
+    EV_GEO_REPORT_REJECTED,
+    EV_GPBFT_ACTIVATED,
+    EV_GPBFT_AUDIT,
+    EV_GPBFT_DEACTIVATED,
+    EV_GPBFT_HALTED_BELOW_MINIMUM,
+    EV_TX_COMMITTED,
+    EV_TX_SUBMITTED,
+    EventLog,
+)
 from repro.common.rng import DeterministicRNG
 from repro.chain.block import Block
 from repro.chain.genesis import GenesisBlock
@@ -55,6 +70,7 @@ from repro.pbft.replica import PBFTReplica
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.network import SimulatedNetwork
+    from repro.obs.core import Observability
 
 
 class GPBFTNode:
@@ -95,6 +111,7 @@ class GPBFTNode:
         mode: str = "per_tx",
         block_interval_s: float = 5.0,
         faults: FaultModel | None = None,
+        obs: "Observability | None" = None,
     ) -> None:
         if mode not in ("per_tx", "block"):
             raise ConsensusError(f"unknown ordering mode {mode!r}")
@@ -111,6 +128,7 @@ class GPBFTNode:
         self.mode = mode
         self.block_interval_s = block_interval_s
         self.faults = faults or HonestFaults()
+        self.obs = obs
 
         # -- chain + protocol state ----------------------------------------
         self.ledger = Ledger(genesis)
@@ -119,7 +137,7 @@ class GPBFTNode:
         self.committee = genesis.endorser_ids
         self.committee_manager = CommitteeManager(self.committee, genesis.policy)
         self.era = 0
-        self.era_history = EraHistory(self.committee)
+        self.era_history = EraHistory(self.committee, obs=obs, owner=node_id)
         self.incentive = IncentiveEngine(self.config.incentive)
         self.replica: PBFTReplica | None = None
         self.switching = False
@@ -153,6 +171,7 @@ class GPBFTNode:
             config=self.config.pbft,
             event_log=event_log,
             route_fn=self._first_hop,
+            obs=obs,
         )
 
         if self.is_member:
@@ -259,12 +278,15 @@ class GPBFTNode:
         if not self.is_member:
             return  # only endorsers maintain election tables
         if self.admission is not None and not self.admission.admit(msg.report):
-            self._record("geo.report_rejected", subject=msg.report.node)
+            self._record(EV_GEO_REPORT_REJECTED, subject=msg.report.node)
             return
         try:
             self.election_table.observe(msg.report)
         except GeoError:
             pass  # stale or out-of-order report; the chain keeps canonical order
+        else:
+            if self.obs is not None:
+                self.obs.geo_report(self.node_id)
 
     def next_transaction(self, key: str = "data", value: str = "", fee: float = 1.0) -> Transaction:
         """Build this device's next normal transaction (geo-tagged)."""
@@ -292,7 +314,7 @@ class GPBFTNode:
             tx = self.next_transaction(key=f"k{self.node_id}", value=str(self._tx_nonce))
         if self.mode == "per_tx":
             return self.client.submit(TxOperation(tx))
-        self._record("tx.submitted", tx_id=tx.tx_id)
+        self._record(EV_TX_SUBMITTED, tx_id=tx.tx_id)
         self._send(self._first_hop(), TxSubmission(tx))
         return tx.tx_id
 
@@ -313,6 +335,7 @@ class GPBFTNode:
             event_log=self.events,
             faults=self.faults,
             epoch=self.era,
+            obs=self.obs,
         )
         if self._audit_timer is None:
             self._audit_timer = self.sim.schedule(self.config.era.period_s, self._audit_loop)
@@ -362,7 +385,7 @@ class GPBFTNode:
             for request in backlog:
                 self.replica.receive(request)
         if self.halted_below_minimum and not was_halted:
-            self._record("gpbft.halted_below_minimum", committee=len(self.committee))
+            self._record(EV_GPBFT_HALTED_BELOW_MINIMUM, committee=len(self.committee))
 
     # ------------------------------------------------------------------
     # execution of ordered operations
@@ -397,7 +420,7 @@ class GPBFTNode:
         self.ledger.append(block)
         self.incentive.on_block(block.header.height, proposer, self.committee, tx.fee)
         self._observe_tx_geo(tx)
-        self._record("tx.committed", tx_id=tx.tx_id, height=block.header.height)
+        self._record(EV_TX_COMMITTED, tx_id=tx.tx_id, height=block.header.height)
 
     def _execute_block_proposal(self, op: BlockProposalOperation) -> None:
         block = op.block
@@ -408,7 +431,7 @@ class GPBFTNode:
         except (ForkError, ChainError):
             self._suspects.add(op.producer)
             self.incentive.exclude(op.producer)
-            self._record("block.rejected", producer=op.producer, height=block.header.height)
+            self._record(EV_BLOCK_REJECTED, producer=op.producer, height=block.header.height)
             return
         self.incentive.on_block(
             block.header.height, op.producer, self.committee, block.total_fees
@@ -420,8 +443,8 @@ class GPBFTNode:
         self.mempool.remove_committed(block.transactions)
         for tx in block.transactions:
             self._observe_tx_geo(tx)
-            self._record("tx.committed", tx_id=tx.tx_id, height=block.header.height)
-        self._record("block.committed", producer=op.producer, height=block.header.height,
+            self._record(EV_TX_COMMITTED, tx_id=tx.tx_id, height=block.header.height)
+        self._record(EV_BLOCK_COMMITTED, producer=op.producer, height=block.header.height,
                      txs=len(block.transactions))
 
     def _observe_tx_geo(self, tx: Transaction) -> None:
@@ -474,7 +497,7 @@ class GPBFTNode:
             timestamp=self.sim.now,
             transactions=txs,
         )
-        self._record("block.proposed", height=height, txs=len(txs))
+        self._record(EV_BLOCK_PROPOSED, height=height, txs=len(txs))
         self.client.submit(BlockProposalOperation(block=block, producer=self.node_id))
 
     def _on_tx_submission(self, msg: TxSubmission) -> None:
@@ -482,7 +505,10 @@ class GPBFTNode:
             return
         if self.ledger.contains_tx(msg.tx.tx_id):
             return
-        if self.mempool.add(msg.tx) and not msg.forwarded:
+        added = self.mempool.add(msg.tx)
+        if added and self.obs is not None:
+            self.obs.mempool_depth(self.node_id, len(self.mempool))
+        if added and not msg.forwarded:
             # gossip once to the rest of the committee so any producer
             # can pack it
             fwd = TxSubmission(msg.tx, forwarded=True)
@@ -531,13 +557,18 @@ class GPBFTNode:
         invalid = set(result.invalid_endorsers) | (self._suspects & set(self.committee))
         delta = self.committee_manager.plan_delta(sorted(qualified), sorted(invalid))
         self._record(
-            "gpbft.audit",
+            EV_GPBFT_AUDIT,
             era=self.era,
             invalid=len(invalid),
             qualified=len(qualified),
             planned_add=len(delta.added),
             planned_remove=len(delta.removed),
         )
+        if self.obs is not None:
+            self.obs.election_round(
+                self.node_id, self.era,
+                candidates=len(candidates), elected=len(qualified),
+            )
         if delta.empty:
             return
         # the lowest-id valid continuing member proposes the switch;
@@ -555,7 +586,7 @@ class GPBFTNode:
             added=delta.added,
             removed=delta.removed,
         )
-        self._record("era.switch_proposed", new_era=op.new_era,
+        self._record(EV_ERA_SWITCH_PROPOSED, new_era=op.new_era,
                      added=list(op.added), removed=list(op.removed))
         self.client.submit(op)
 
@@ -568,7 +599,7 @@ class GPBFTNode:
         if self.replica is not None:
             self.replica.shutdown()
             self.replica = None
-        self._record("era.switch_started", new_era=op.new_era)
+        self._record(EV_ERA_SWITCH_STARTED, new_era=op.new_era)
         self.sim.schedule(
             self.config.era.switch_duration_s, self._complete_era_switch, op, carried
         )
@@ -586,7 +617,7 @@ class GPBFTNode:
             # a fresh election clears old sanctions (new-era clean slate)
             self.incentive.reinstate(node)
         self.client.update_committee(self.committee)
-        self._record("era.switch_completed", era=self.era, committee_size=len(self.committee))
+        self._record(EV_ERA_SWITCH_COMPLETED, era=self.era, committee_size=len(self.committee))
 
         survivors = [m for m in old_committee if m in self.committee]
         if self.is_member:
@@ -640,11 +671,11 @@ class GPBFTNode:
         self.client.update_committee(self.committee)
         if self.is_member and not was_member:
             # newly elected: sync the chain before joining consensus
-            self._record("gpbft.activated", era=self.era)
+            self._record(EV_GPBFT_ACTIVATED, era=self.era)
             self._sync_chain(info.sender)
             self._activate_endorser()
         elif not self.is_member and was_member:
-            self._record("gpbft.deactivated", era=self.era)
+            self._record(EV_GPBFT_DEACTIVATED, era=self.era)
             self._deactivate_endorser()
 
     def _sync_chain(self, from_node: int) -> None:

@@ -89,6 +89,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_CACHE_DIR,
         help=f"point cache directory (default: {DEFAULT_CACHE_DIR})",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="also run one instrumented G-PBFT capture at the profile's "
+             "committee cap and write a Chrome trace-event JSON here",
+    )
+    parser.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        help="write the instrumented capture's metric snapshot (JSON) here",
+    )
     return parser
 
 
@@ -130,6 +143,37 @@ def _write_svgs(name: str, result, profile_name: str, out_dir: Path) -> list[Pat
     return written
 
 
+def _write_observability(profile, trace_path: Path | None,
+                         metrics_path: Path | None) -> None:
+    """Run one instrumented capture and write the requested artifacts.
+
+    The capture uses the profile's committee cap (``max_endorsers``)
+    with an era switch mid-run, so the trace shows both the per-phase
+    request anatomy and an era-switch stall at the scale the
+    experiments just measured.
+    """
+    import json
+
+    from repro.obs.capture import capture_run
+    from repro.obs.export import write_chrome_trace
+
+    capture = capture_run(
+        protocol="gpbft",
+        n=max(4, profile.max_endorsers),
+        submissions=8,
+        seed=0,
+        horizon_s=60.0,
+        era_switch_at=12.0,
+    )
+    if trace_path is not None:
+        write_chrome_trace(capture.spans, trace_path)
+        print(f"[trace written to {trace_path} ({len(capture.spans)} spans)]")
+    if metrics_path is not None:
+        metrics_path.write_text(
+            json.dumps(capture.snapshot(), sort_keys=True, indent=2) + "\n")
+        print(f"[metrics written to {metrics_path}]")
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the selected experiment(s); returns a process exit code.
 
@@ -166,6 +210,8 @@ def main(argv: list[str] | None = None) -> int:
             for path in _write_svgs(name, result, args.profile, args.svg):
                 print(f"[chart written to {path}]")
     print(f"[{engine.summary()}]")
+    if args.trace is not None or args.metrics is not None:
+        _write_observability(profile, args.trace, args.metrics)
     return 0
 
 

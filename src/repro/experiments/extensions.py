@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.common.config import CommitteeConfig, EraConfig, GPBFTConfig
+from repro.common.eventlog import EV_REQUEST_COMPLETED
 from repro.common.rng import DeterministicRNG
 from repro.core.deployment import GPBFTDeployment
 from repro.core.messages import TxOperation
@@ -140,7 +141,7 @@ def _era_churn_point(interval: float, horizon_s: float,
     _note_events(dep.sim)
     latencies = [
         e.data["latency"]
-        for e in dep.events.of_kind("request.completed")
+        for e in dep.events.of_kind(EV_REQUEST_COMPLETED)
         if "era-switch" not in e.data["request_id"]
     ]
     if not latencies:

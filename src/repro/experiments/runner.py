@@ -15,6 +15,7 @@ from dataclasses import replace
 
 from repro.common.config import CommitteeConfig, EraConfig, GPBFTConfig
 from repro.common.errors import ConsensusError
+from repro.common.eventlog import EV_PBFT_EXECUTED, EV_REQUEST_COMPLETED
 from repro.common.rng import DeterministicRNG
 from repro.core.deployment import GPBFTDeployment
 from repro.core.messages import TxOperation
@@ -88,7 +89,7 @@ def _quorum_execution_latency(events, rid: str, submitted_at: float, f: int) -> 
     tolerated, the write is durable once f+1 replicas executed it.
     """
     times = sorted(
-        e.at for e in events.of_kind("pbft.executed") if e.data["request_id"] == rid
+        e.at for e in events.of_kind(EV_PBFT_EXECUTED) if e.data["request_id"] == rid
     )
     if len(times) <= f:
         return None
@@ -180,7 +181,7 @@ def _gpbft_latency_point(
     horizon = 1.0 + total * interval + 100_000.0
     expected = total + extra_ops
     dep.sim.run_until_condition(
-        lambda: dep.events.count("request.completed") >= expected,
+        lambda: dep.events.count(EV_REQUEST_COMPLETED) >= expected,
         horizon=horizon,
         max_events=MAX_EVENTS_PER_RUN,
     )

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.errors import ConfigurationError
-from repro.common.eventlog import EventLog
+from repro.common.eventlog import EV_REQUEST_COMPLETED, EventLog
 
 
 @dataclass(frozen=True, slots=True)
@@ -97,7 +97,7 @@ class LatencySamples:
     def add_from_events(self, events: EventLog) -> int:
         """Pull every ``request.completed`` latency out of *events*."""
         added = 0
-        for event in events.of_kind("request.completed"):
+        for event in events.of_kind(EV_REQUEST_COMPLETED):
             self.add(event.data["latency"])
             added += 1
         return added

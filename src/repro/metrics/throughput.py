@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
-from repro.common.eventlog import EventLog
+from repro.common.eventlog import EV_REQUEST_COMPLETED, EV_REQUEST_SUBMITTED, EventLog
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,8 +50,8 @@ def throughput_from_events(
     events: EventLog,
     start: float,
     end: float,
-    commit_kind: str = "request.completed",
-    submit_kind: str = "request.submitted",
+    commit_kind: str = EV_REQUEST_COMPLETED,
+    submit_kind: str = EV_REQUEST_SUBMITTED,
 ) -> ThroughputSample:
     """Measure TPS over the window [start, end) of an event log.
 

@@ -157,6 +157,17 @@ class Simulator:
             return True
         return False
 
+    def export_instruments(self, registry) -> None:
+        """Record loop-level gauges into an observability *registry*.
+
+        Duck-typed (any object with ``gauge(name)``) so the simulator
+        keeps zero imports from :mod:`repro.obs`; called once at
+        capture teardown, never on the hot path.
+        """
+        registry.gauge("sim.now_s").set(self._now)
+        registry.gauge("sim.events_processed").set(float(self._events_processed))
+        registry.gauge("sim.pending_events").set(float(self.pending))
+
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Run events until the queue drains, *until* is reached, or
         *max_events* have fired.  Returns the number of events fired.

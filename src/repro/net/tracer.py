@@ -6,6 +6,11 @@ focused ("only pbft.* between endorsers 0-3"), and the renderer prints a
 text sequence diagram -- the fastest way to see *why* a consensus round
 stalled when a test fails.
 
+The tracer rides the shared :class:`repro.obs.nettap.NetworkTap`, so it
+coexists with the observability layer's traffic counters on a single
+wrapped ``send`` -- one tap point on the network path, any number of
+subscribers.
+
 Usage::
 
     tracer = MessageTracer(deployment.network, kinds=("pbft.",))
@@ -16,10 +21,10 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.common.errors import NetworkError
 from repro.net.network import SimulatedNetwork
+from repro.obs.nettap import NetworkTap, tap_network
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,8 +63,8 @@ class MessageTracer:
         self.rows: list[TraceRow] = []
         self.dropped = 0
         self._network = network
-        self._original_send: Callable = network.send
-        network.send = self._tapped_send  # type: ignore[method-assign]
+        self._tap: NetworkTap = tap_network(network)
+        self._tap.subscribe(self._on_send)
 
     def _matches(self, src: int, dst: int, kind: str) -> bool:
         if self.kinds and not kind.startswith(self.kinds):
@@ -68,26 +73,18 @@ class MessageTracer:
             return False
         return True
 
-    def _tapped_send(self, src: int, dst: int, payload) -> None:
-        kind = getattr(payload, "kind", "?")
+    def _on_send(self, at: float, src: int, dst: int, kind: str, size: int) -> None:
         if self._matches(src, dst, kind):
             if len(self.rows) >= self.capacity:
                 self.rows.pop(0)
                 self.dropped += 1
             self.rows.append(
-                TraceRow(
-                    at=self._network.sim.now,
-                    src=src,
-                    dst=dst,
-                    kind=kind,
-                    size_bytes=getattr(payload, "size_bytes", 0),
-                )
+                TraceRow(at=at, src=src, dst=dst, kind=kind, size_bytes=size)
             )
-        self._original_send(src, dst, payload)
 
     def detach(self) -> None:
-        """Restore the network's original send path."""
-        self._network.send = self._original_send  # type: ignore[method-assign]
+        """Stop recording; the shared tap uninstalls itself when idle."""
+        self._tap.unsubscribe(self._on_send)
 
     # -- queries ---------------------------------------------------------
 

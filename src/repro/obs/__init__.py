@@ -1,0 +1,38 @@
+"""Unified observability layer: spans, instruments, exportable traces.
+
+The paper's headline claims are latency claims, so the repro needs phase
+-level attribution, not just end-to-end numbers.  This package provides
+three pillars, all driven by *simulated* time (never wall clock):
+
+- :mod:`repro.obs.spans` -- a :class:`~repro.obs.spans.Tracer` that
+  records request-lifecycle and system-episode spans with parent-child
+  nesting.
+- :mod:`repro.obs.instruments` -- a typed registry of counters, gauges,
+  and fixed-bucket histograms with a deterministic snapshot API.
+- :mod:`repro.obs.export` / :mod:`repro.obs.report` -- Chrome
+  trace-event JSON + JSONL span dumps and a per-phase latency report
+  (``python -m repro.obs report``).
+
+The :class:`~repro.obs.core.Observability` facade ties the pillars
+together and is what protocol components accept as an optional ``obs``
+parameter; passing ``None`` (the default) keeps every hot path on a
+single ``is not None`` check, so goldens stay bit-identical and the
+bench gate sees no regression.
+"""
+
+from repro.obs.core import Observability
+from repro.obs.instruments import Counter, Gauge, Histogram, Registry
+from repro.obs.nettap import NetworkTap, tap_network
+from repro.obs.spans import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NetworkTap",
+    "Observability",
+    "Registry",
+    "Span",
+    "Tracer",
+    "tap_network",
+]

@@ -1,0 +1,119 @@
+"""Command line for the observability layer: ``python -m repro.obs``.
+
+Subcommands:
+
+- ``capture`` -- run one instrumented scenario and write the trace
+  (Chrome trace-event JSON), span dump (JSONL), and/or instrument
+  snapshot to files.
+- ``report`` -- read a trace/span file and print the per-phase latency
+  tables plus the era-switch downtime timeline.
+- ``validate`` -- check a file parses as Chrome trace-event JSON.
+
+Typical session::
+
+    python -m repro.obs capture --protocol gpbft -n 40 --submissions 8 \\
+        --era-switch-at 12 --trace trace.json --spans spans.jsonl
+    python -m repro.obs report spans.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.capture import capture_run
+from repro.obs.export import (
+    load_spans,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.report import render_report
+from repro.obs.spans import ObservabilityError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.obs`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Capture, validate, and report observability traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cap = sub.add_parser("capture", help="run one instrumented scenario")
+    cap.add_argument("--protocol", choices=("pbft", "gpbft"), default="gpbft")
+    cap.add_argument("-n", type=int, default=10, help="committee / deployment size")
+    cap.add_argument("--submissions", type=int, default=5)
+    cap.add_argument("--seed", type=int, default=0)
+    cap.add_argument("--horizon", type=float, default=60.0,
+                     help="simulated seconds to run")
+    cap.add_argument("--era-switch-at", type=float, default=None,
+                     help="force an era switch at this time (gpbft only)")
+    cap.add_argument("--trace", default=None,
+                     help="write Chrome trace-event JSON here")
+    cap.add_argument("--spans", default=None, help="write JSONL span dump here")
+    cap.add_argument("--metrics", default=None,
+                     help="write the instrument snapshot (JSON) here")
+    cap.add_argument("--report", action="store_true",
+                     help="also print the phase-breakdown report")
+
+    rep = sub.add_parser("report", help="phase breakdown from a trace file")
+    rep.add_argument("file", help="Chrome trace JSON or JSONL span dump")
+
+    val = sub.add_parser("validate", help="validate a Chrome trace file")
+    val.add_argument("file")
+    return parser
+
+
+def _cmd_capture(args: argparse.Namespace) -> int:
+    capture = capture_run(
+        protocol=args.protocol,
+        n=args.n,
+        submissions=args.submissions,
+        seed=args.seed,
+        horizon_s=args.horizon,
+        era_switch_at=args.era_switch_at,
+    )
+    spans = capture.spans
+    if args.trace:
+        write_chrome_trace(spans, args.trace)
+        print(f"wrote {len(spans)} spans to {args.trace} (chrome trace)")
+    if args.spans:
+        write_spans_jsonl(spans, args.spans)
+        print(f"wrote {len(spans)} spans to {args.spans} (jsonl)")
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            json.dump(capture.snapshot(), fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"wrote instrument snapshot to {args.metrics}")
+    if args.report or not (args.trace or args.spans or args.metrics):
+        print(render_report(spans))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(render_report(load_spans(args.file)))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    with open(args.file) as fh:
+        doc = json.load(fh)
+    validate_chrome_trace(doc)
+    print(f"{args.file}: valid chrome trace ({len(doc['traceEvents'])} events)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "capture":
+            return _cmd_capture(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        return _cmd_validate(args)
+    except (ObservabilityError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,185 @@
+"""The :class:`Observability` facade protocol components talk to.
+
+Components accept ``obs: Observability | None = None`` and guard every
+call with ``if self._obs is not None`` -- the whole layer disappears
+behind one predictable branch when disabled, which is what keeps
+goldens bit-identical and the bench ``--compare`` gate quiet.
+
+The facade owns one :class:`~repro.obs.spans.Tracer` and one
+:class:`~repro.obs.instruments.Registry` and exposes protocol-shaped
+methods (``pbft_preprepare``, ``era_switch_completed``, ...) so call
+sites stay one line and the span-key scheme lives in exactly one
+place:
+
+==================================  =======================================
+key                                 span
+==================================  =======================================
+``req/{rid}``                       client-side request lifecycle
+``prep/{node}/{epoch}/{view}/{s}``  one replica's prepare phase for seq *s*
+``comm/{node}/{epoch}/{view}/{s}``  one replica's commit phase for seq *s*
+``vc/{node}/{epoch}/{view}``        one replica's view change into *view*
+``era/{owner}/{era}``               switch period into era *era*
+==================================  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.net.simulator import Simulator
+from repro.obs.instruments import Registry
+from repro.obs.nettap import tap_network
+from repro.obs.spans import Tracer
+
+#: Bucket edges (seconds) for phase / quorum wait histograms.
+PHASE_EDGES = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+#: Bucket edges (seconds) for end-to-end request latency.
+LATENCY_EDGES = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+#: Bucket edges (seconds) for era-switch downtime (paper claims ~0.25 s).
+DOWNTIME_EDGES = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5)
+#: Bucket edges (transactions) for mempool depth.
+DEPTH_EDGES = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0)
+
+
+class Observability:
+    """Tracer + instrument registry behind one object.
+
+    Construct one per capture, :meth:`bind` it to the simulator (and
+    optionally the network), pass it to the deployment/cluster, and
+    call :meth:`finish` before exporting.
+    """
+
+    def __init__(self) -> None:
+        self.tracer = Tracer()
+        self.registry = Registry()
+        self._bound_sim: Simulator | None = None
+
+    # -- wiring -----------------------------------------------------------
+
+    def bind(self, sim: Simulator, network: Any | None = None) -> None:
+        """Drive span timestamps from *sim* and tap *network* sends.
+
+        Tapping registers ``net.messages_sent`` / ``net.bytes_sent``
+        counters with one labeled child per wire kind.  The tap is the
+        shared one from :func:`repro.obs.nettap.tap_network`, so a
+        :class:`~repro.net.tracer.MessageTracer` on the same network
+        coexists with it on a single wrapped send path.
+        """
+        self._bound_sim = sim
+        self.tracer.bind_clock(lambda: sim.now)
+        if network is not None:
+            messages = self.registry.counter("net.messages_sent")
+            size = self.registry.counter("net.bytes_sent")
+
+            def on_send(at: float, src: int, dst: int, kind: str, nbytes: int) -> None:
+                messages.child(kind).inc()
+                size.child(kind).inc(nbytes)
+
+            tap_network(network).subscribe(on_send)
+
+    def finish(self) -> None:
+        """Seal the capture: close leftover spans, export sim gauges."""
+        if self._bound_sim is not None:
+            self._bound_sim.export_instruments(self.registry)
+        self.tracer.finish()
+
+    # -- request lifecycle ------------------------------------------------
+
+    def request_submitted(self, node: int, rid: str, committee_size: int) -> None:
+        """Client submitted request *rid* to a committee of that size."""
+        self.tracer.open(
+            f"req/{rid}", "request", cat="request", node=node,
+            request_id=rid, committee_size=committee_size,
+        )
+
+    def request_completed(self, node: int, rid: str) -> None:
+        """Client saw a reply quorum for *rid*; records e2e latency."""
+        span = self.tracer.close(f"req/{rid}")
+        if span is not None:
+            self.registry.histogram(
+                "request.latency_s", LATENCY_EDGES).observe(span.duration)
+
+    # -- pbft phases ------------------------------------------------------
+
+    def pbft_preprepare(self, node: int, epoch: int, view: int, seq: int, rid: str) -> None:
+        """Replica accepted (or issued) the pre-prepare for *seq*."""
+        self.tracer.open(
+            f"prep/{node}/{epoch}/{view}/{seq}", "prepare", cat="phase",
+            node=node, parent_key=f"req/{rid}",
+            request_id=rid, epoch=epoch, view=view, seq=seq,
+        )
+
+    def pbft_prepared(self, node: int, epoch: int, view: int, seq: int, rid: str) -> None:
+        """Replica collected its prepare quorum and broadcast commit."""
+        span = self.tracer.close(f"prep/{node}/{epoch}/{view}/{seq}")
+        if span is not None:
+            self.registry.histogram(
+                "pbft.quorum_wait_s", PHASE_EDGES).child("prepare").observe(span.duration)
+        self.tracer.open(
+            f"comm/{node}/{epoch}/{view}/{seq}", "commit", cat="phase",
+            node=node, parent_key=f"req/{rid}",
+            request_id=rid, epoch=epoch, view=view, seq=seq,
+        )
+
+    def pbft_executed(self, node: int, epoch: int, view: int, seq: int, rid: str) -> None:
+        """Replica collected its commit quorum and executed *seq*."""
+        span = self.tracer.close(f"comm/{node}/{epoch}/{view}/{seq}")
+        if span is not None:
+            self.registry.histogram(
+                "pbft.quorum_wait_s", PHASE_EDGES).child("commit").observe(span.duration)
+
+    # -- view changes -----------------------------------------------------
+
+    def view_change_started(self, node: int, epoch: int, new_view: int) -> None:
+        """Replica broadcast a view-change vote for *new_view*."""
+        self.registry.counter("pbft.view_changes").inc()
+        self.tracer.open(
+            f"vc/{node}/{epoch}/{new_view}", "view-change", cat="view",
+            node=node, epoch=epoch, new_view=new_view,
+        )
+
+    def view_entered(self, node: int, epoch: int, view: int) -> None:
+        """Replica entered *view* (closes a pending view-change span)."""
+        self.tracer.close(f"vc/{node}/{epoch}/{view}")
+
+    # -- eras and elections -----------------------------------------------
+
+    def era_switch_started(self, owner: int, era: int, at: float) -> None:
+        """A switch into era *era* began on *owner*'s timeline."""
+        self.tracer.open(
+            f"era/{owner}/{era}", "era-switch", cat="era", node=owner,
+            at=at, era=era,
+        )
+
+    def era_switch_completed(
+        self, owner: int, era: int, at: float, committee_size: int,
+    ) -> None:
+        """The switch into era *era* finished; records its downtime."""
+        span = self.tracer.close(
+            f"era/{owner}/{era}", at=at, committee_size=committee_size)
+        if span is not None:
+            self.registry.histogram(
+                "era.switch_downtime_s", DOWNTIME_EDGES).observe(span.duration)
+
+    def election_round(self, node: int, era: int, candidates: int, elected: int) -> None:
+        """An endorser-election audit ran on *node* for era *era*."""
+        self.registry.counter("gpbft.election_rounds").inc()
+        self.tracer.instant(
+            "election", cat="election", node=node,
+            era=era, candidates=candidates, elected=elected,
+        )
+
+    def geo_report(self, node: int) -> None:
+        """A location report was accepted into the election table."""
+        self.registry.counter("gpbft.geo_reports").inc()
+
+    # -- mempool / state transfer ----------------------------------------
+
+    def mempool_depth(self, node: int, depth: int) -> None:
+        """Mempool depth on *node* after a transaction arrived."""
+        self.registry.gauge("mempool.depth").set(depth)
+        self.registry.histogram("mempool.depth_dist", DEPTH_EDGES).observe(depth)
+
+    def state_transfer(self, node: int) -> None:
+        """Replica *node* requested a state transfer."""
+        self.registry.counter("pbft.state_transfers").inc()

@@ -1,0 +1,159 @@
+"""Trace export: Chrome trace-event JSON and JSONL span dumps.
+
+The Chrome format loads directly in Perfetto (https://ui.perfetto.dev)
+or ``chrome://tracing``: one complete ``"ph": "X"`` event per span,
+timestamps in microseconds, with ``pid`` fixed at 0 and ``tid`` set to
+the owning node so the viewer shows one lane per node.  The JSONL dump
+is one span per line for ad-hoc ``jq``-style analysis and is what
+:mod:`repro.obs.report` consumes.
+
+All serialization uses sorted keys and fixed separators, so the same
+run always exports byte-identical files -- the determinism tests rely
+on this.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.spans import ObservabilityError, Span
+
+
+def span_to_dict(span: Span) -> dict:
+    """JSON-ready dict for one span (used by the JSONL dump)."""
+    return {
+        "sid": span.sid,
+        "parent": span.parent,
+        "name": span.name,
+        "cat": span.cat,
+        "node": span.node,
+        "start": span.start,
+        "end": span.end,
+        "args": span.args,
+    }
+
+
+def span_from_dict(row: dict) -> Span:
+    """Rebuild a :class:`Span` from :func:`span_to_dict` output."""
+    return Span(
+        sid=row["sid"],
+        parent=row["parent"],
+        name=row["name"],
+        cat=row["cat"],
+        node=row["node"],
+        start=row["start"],
+        end=row["end"],
+        args=dict(row.get("args", {})),
+    )
+
+
+def chrome_trace(spans: list[Span]) -> dict:
+    """Render *spans* as a Chrome trace-event JSON object.
+
+    Each span becomes one complete ("X") event; ``args`` carries the
+    span id, parent id, and payload so the conversion is lossless and
+    :func:`load_spans` can invert it.
+    """
+    events = []
+    for span in spans:
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.cat,
+            "ts": span.start * 1e6,
+            "dur": (span.end - span.start) * 1e6,
+            "pid": 0,
+            "tid": span.node,
+            "args": {"sid": span.sid, "parent": span.parent, **span.args},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(doc: dict) -> None:
+    """Check *doc* is structurally valid Chrome trace-event JSON.
+
+    Raises:
+        ObservabilityError: on any malformed event.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ObservabilityError("chrome trace: missing top-level traceEvents")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ObservabilityError("chrome trace: traceEvents must be a list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ObservabilityError(f"chrome trace: event {i} is not an object")
+        for field in ("ph", "name", "ts", "pid", "tid"):
+            if field not in ev:
+                raise ObservabilityError(f"chrome trace: event {i} missing {field!r}")
+        if ev["ph"] == "X" and "dur" not in ev:
+            raise ObservabilityError(f"chrome trace: complete event {i} missing dur")
+        if ev["ph"] == "X" and ev["dur"] < 0:
+            raise ObservabilityError(f"chrome trace: event {i} has negative dur")
+
+
+def write_chrome_trace(spans: list[Span], path: str | Path) -> None:
+    """Write *spans* as Chrome trace-event JSON to *path*."""
+    doc = chrome_trace(spans)
+    validate_chrome_trace(doc)
+    Path(path).write_text(
+        json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n")
+
+
+def write_spans_jsonl(spans: list[Span], path: str | Path) -> None:
+    """Write *spans* as one JSON object per line to *path*."""
+    lines = [
+        json.dumps(span_to_dict(s), sort_keys=True, separators=(",", ":"))
+        for s in spans
+    ]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def load_spans(path: str | Path) -> list[Span]:
+    """Load spans from either export format (auto-detected).
+
+    A file that parses whole as a JSON object with a ``traceEvents``
+    key is treated as Chrome trace JSON; anything else as JSONL span
+    rows (one :func:`span_to_dict` object per line).
+
+    Raises:
+        ObservabilityError: on empty or unparseable input.
+    """
+    text = Path(path).read_text()
+    if not text.strip():
+        raise ObservabilityError(f"{path}: empty trace file")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None  # multi-line JSONL: parse line by line below
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        spans = []
+        for ev in doc["traceEvents"]:
+            args = dict(ev.get("args", {}))
+            sid = args.pop("sid", -1)
+            parent = args.pop("parent", -1)
+            spans.append(Span(
+                sid=sid,
+                parent=parent,
+                name=ev["name"],
+                cat=ev.get("cat", "span"),
+                node=ev.get("tid", -1),
+                start=ev["ts"] / 1e6,
+                end=(ev["ts"] + ev.get("dur", 0)) / 1e6,
+                args=args,
+            ))
+        return spans
+    spans = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"{path}:{lineno}: not a JSONL span dump ({exc})") from exc
+        if not isinstance(row, dict) or "sid" not in row:
+            raise ObservabilityError(f"{path}:{lineno}: not a span row")
+        spans.append(span_from_dict(row))
+    return spans

@@ -1,0 +1,221 @@
+"""Typed metric instruments: counters, gauges, fixed-bucket histograms.
+
+Instruments answer "how much / how many" questions that spans are too
+granular for: messages sent per wire kind, quorum wait distributions,
+mempool depth, era-switch downtime.  A :class:`Registry` owns them by
+name with get-or-create semantics, and :meth:`Registry.snapshot`
+renders everything as one sorted, JSON-ready dict -- the same run
+always snapshots to the same bytes.
+
+Counters and histograms support *labeled children* (one child per wire
+kind, per phase, ...) which roll up into the parent automatically.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.obs.spans import ObservabilityError
+
+
+class Counter:
+    """Monotonic count with optional labeled children.
+
+    ``child(label)`` returns a sub-counter whose increments also bump
+    the parent, so ``net.messages_sent`` stays the total while its
+    ``pbft.prepare`` child tracks one kind.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self._children: dict[str, Counter] = {}
+        self._parent: Counter | None = None
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (default 1) to this counter and its ancestors."""
+        if amount < 0:
+            raise ObservabilityError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+        if self._parent is not None:
+            self._parent.inc(amount)
+
+    def child(self, label: str) -> "Counter":
+        """Get-or-create the sub-counter for *label*."""
+        got = self._children.get(label)
+        if got is None:
+            got = Counter(f"{self.name}[{label}]")
+            got._parent = self
+            self._children[label] = got
+        return got
+
+    def snapshot(self) -> dict:
+        """JSON-ready state: total plus per-child values, keys sorted."""
+        out: dict = {"total": self.value}
+        if self._children:
+            out["children"] = {
+                label: self._children[label].value
+                for label in sorted(self._children)
+            }
+        return out
+
+
+class Gauge:
+    """A point-in-time value (sim clock, pending events, mempool depth)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value, replacing the previous one."""
+        self.value = value
+
+    def snapshot(self) -> dict:
+        """JSON-ready state: the last value set."""
+        return {"value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with ``le`` (less-or-equal) bucket edges.
+
+    An observation lands in the first bucket whose edge is >= the
+    value; values above the last edge land in the implicit overflow
+    bucket.  Edge membership uses :func:`bisect.bisect_left`, so a
+    value exactly on an edge goes to that edge's bucket without any
+    float equality comparison.
+    """
+
+    def __init__(self, name: str, edges: tuple[float, ...]) -> None:
+        if not edges:
+            raise ObservabilityError(f"histogram {name}: needs at least one bucket edge")
+        if list(edges) != sorted(edges):
+            raise ObservabilityError(f"histogram {name}: edges must be ascending: {edges}")
+        if len(set(edges)) != len(edges):
+            raise ObservabilityError(f"histogram {name}: duplicate edges: {edges}")
+        self.name = name
+        self.edges = tuple(float(e) for e in edges)
+        # one slot per edge plus the overflow bucket
+        self.counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._children: dict[str, Histogram] = {}
+        self._parent: Histogram | None = None
+
+    def observe(self, value: float) -> None:
+        """Record *value* into its bucket (and into any parent)."""
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self._parent is not None:
+            self._parent.observe(value)
+
+    def child(self, label: str) -> "Histogram":
+        """Get-or-create the sub-histogram for *label* (same edges)."""
+        got = self._children.get(label)
+        if got is None:
+            got = Histogram(f"{self.name}[{label}]", self.edges)
+            got._parent = self
+            self._children[label] = got
+        return got
+
+    def snapshot(self) -> dict:
+        """JSON-ready state: edges, bucket counts, count/sum/min/max."""
+        out: dict = {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+        if self._children:
+            out["children"] = {
+                label: self._children[label].snapshot()
+                for label in sorted(self._children)
+            }
+        return out
+
+
+class Registry:
+    """Named instrument store with typed get-or-create accessors.
+
+    Asking for an existing name with a different instrument kind (or a
+    histogram with different edges) raises: silent redefinition would
+    split a metric across two objects.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, own: dict) -> None:
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if table is not own and name in table:
+                raise ObservabilityError(f"instrument {name!r} already exists as a {kind}")
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the counter called *name*."""
+        got = self._counters.get(name)
+        if got is None:
+            self._check_free(name, self._counters)
+            got = Counter(name)
+            self._counters[name] = got
+        return got
+
+    def gauge(self, name: str) -> Gauge:
+        """Get-or-create the gauge called *name*."""
+        got = self._gauges.get(name)
+        if got is None:
+            self._check_free(name, self._gauges)
+            got = Gauge(name)
+            self._gauges[name] = got
+        return got
+
+    def histogram(self, name: str, edges: tuple[float, ...]) -> Histogram:
+        """Get-or-create the histogram called *name* with *edges*.
+
+        Raises:
+            ObservabilityError: if *name* exists with different edges.
+        """
+        got = self._histograms.get(name)
+        if got is None:
+            self._check_free(name, self._histograms)
+            got = Histogram(name, edges)
+            self._histograms[name] = got
+        elif got.edges != tuple(float(e) for e in edges):
+            raise ObservabilityError(
+                f"histogram {name!r} exists with edges {got.edges}, asked for {edges}"
+            )
+        return got
+
+    def snapshot(self) -> dict:
+        """Deterministic JSON-ready dump of every instrument.
+
+        Keys are sorted at every level, so the same run always
+        snapshots to the same bytes.
+        """
+        return {
+            "counters": {
+                name: self._counters[name].snapshot()
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].snapshot() for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            },
+        }

@@ -15,13 +15,16 @@ written to the ledger after consensus" (section V-B).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.common.config import PBFTConfig
 from repro.common.errors import ConsensusError
-from repro.common.eventlog import EventLog
+from repro.common.eventlog import EV_REQUEST_COMPLETED, EV_REQUEST_SUBMITTED, EventLog
 from repro.net.simulator import ScheduledEvent, Simulator
 from repro.pbft.messages import ClientRequest, Operation, Reply
+
+if TYPE_CHECKING:
+    from repro.obs.core import Observability
 
 SendFn = Callable[[int, object], None]
 
@@ -62,6 +65,7 @@ class PBFTClient:
         event_log: EventLog | None = None,
         on_complete: Callable[[str, float], None] | None = None,
         route_fn: Callable[[], int] | None = None,
+        obs: "Observability | None" = None,
     ) -> None:
         if not committee:
             raise ConsensusError("client needs a non-empty committee")
@@ -73,6 +77,7 @@ class PBFTClient:
         self.events = event_log
         self._on_complete = on_complete
         self._route_fn = route_fn
+        self._obs = obs
         self.f = (len(self.committee) - 1) // 3
         self.view_hint = 0
         self._pending: dict[str, _PendingRequest] = {}
@@ -94,7 +99,9 @@ class PBFTClient:
         self._pending[rid] = entry
         self._submit_times[rid] = self.sim.now
         if self.events is not None:
-            self.events.record(self.sim.now, "request.submitted", node=self.node_id, request_id=rid)
+            self.events.record(self.sim.now, EV_REQUEST_SUBMITTED, node=self.node_id, request_id=rid)
+        if self._obs is not None:
+            self._obs.request_submitted(self.node_id, rid, len(self.committee))
         first_hop = self._route_fn() if self._route_fn is not None else self.believed_primary
         self._send(first_hop, request)
         entry.timer = self.sim.schedule(self.config.request_retry_timeout_s, self._retry, rid)
@@ -126,11 +133,13 @@ class PBFTClient:
             if self.events is not None:
                 self.events.record(
                     self.sim.now,
-                    "request.completed",
+                    EV_REQUEST_COMPLETED,
                     node=self.node_id,
                     request_id=rid,
                     latency=latency,
                 )
+            if self._obs is not None:
+                self._obs.request_completed(self.node_id, rid)
             if self._on_complete is not None:
                 self._on_complete(rid, latency)
 

@@ -8,9 +8,11 @@ evaluation: *all* participating nodes are replicas.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.common.config import GPBFTConfig
 from repro.common.errors import ConsensusError
-from repro.common.eventlog import EventLog
+from repro.common.eventlog import EV_PBFT_STATE_TRANSFER, EventLog
 from repro.crypto.hashing import sha256
 from repro.net.network import SimulatedNetwork
 from repro.net.simulator import Simulator
@@ -18,6 +20,9 @@ from repro.pbft.client import PBFTClient
 from repro.pbft.faults import FaultModel
 from repro.pbft.messages import Operation
 from repro.pbft.replica import PBFTReplica
+
+if TYPE_CHECKING:
+    from repro.obs.core import Observability
 
 
 class _ExecutedLog:
@@ -64,6 +69,7 @@ class PBFTCluster:
         config: GPBFTConfig | None = None,
         faults: dict[int, FaultModel] | None = None,
         sim: Simulator | None = None,
+        obs: "Observability | None" = None,
     ) -> None:
         if n_replicas < 4:
             raise ConsensusError("PBFT needs at least 4 replicas")
@@ -73,6 +79,9 @@ class PBFTCluster:
         self.sim = sim or Simulator()
         self.network = SimulatedNetwork(self.sim, self.config.network)
         self.events = EventLog()
+        self.obs = obs
+        if obs is not None:
+            obs.bind(self.sim, self.network)
         self.committee = tuple(range(n_replicas))
         self.monitors = None
         if self.config.verify.monitors:
@@ -97,6 +106,7 @@ class PBFTCluster:
                 event_log=self.events,
                 faults=faults.get(node),
                 state_transfer_fn=self._make_state_transfer(node),
+                obs=obs,
             )
             self.replicas[node] = replica
             self.network.register(node, self._replica_handler(replica))
@@ -111,6 +121,7 @@ class PBFTCluster:
                 send=self._sender(node),
                 config=self.config.pbft,
                 event_log=self.events,
+                obs=obs,
             )
             self.clients[node] = client
             self.network.register(node, self._client_handler(client))
@@ -132,9 +143,9 @@ class PBFTCluster:
                 if peer.last_executed >= target_seq:
                     self.executors[node].install_snapshot(self.executors[peer_id])
                     snapshot_bytes = 32 + 64 + 200 * len(self.executors[peer_id].ops)
-                    self.network.stats.on_send(peer_id, "pbft.state_transfer",
+                    self.network.stats.on_send(peer_id, EV_PBFT_STATE_TRANSFER,
                                                snapshot_bytes)
-                    self.network.stats.on_deliver(node, "pbft.state_transfer",
+                    self.network.stats.on_deliver(node, EV_PBFT_STATE_TRANSFER,
                                                   snapshot_bytes)
                     return peer.last_executed
             return None

@@ -24,11 +24,20 @@ PBFT deployment and inside every G-PBFT era.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.common.config import PBFTConfig
 from repro.common.errors import ConsensusError
-from repro.common.eventlog import EventLog
+from repro.common.eventlog import (
+    EV_PBFT_ASSIGNED,
+    EV_PBFT_CHECKPOINT_STABLE,
+    EV_PBFT_ENTERED_VIEW,
+    EV_PBFT_EXECUTED,
+    EV_PBFT_NEW_VIEW,
+    EV_PBFT_STATE_TRANSFER,
+    EV_PBFT_VIEW_CHANGE,
+    EventLog,
+)
 from repro.common.ids import primary_for_view
 from repro.common.quorum import max_faulty, quorum_size
 from repro.crypto.hashing import sha256
@@ -47,6 +56,21 @@ from repro.pbft.messages import (
     Reply,
     ViewChange,
 )
+
+if TYPE_CHECKING:
+    from repro.obs.core import Observability
+
+#: Wire kinds hoisted from the message classes: the receive() dispatch
+#: compares against these once per delivered message, and sourcing them
+#: from the ``kind`` ClassVars keeps the dispatch table and the codec
+#: registry in one vocabulary (GPB009 bans re-typing the strings here).
+_K_PREPARE = Prepare.kind
+_K_COMMIT = Commit.kind
+_K_PRE_PREPARE = PrePrepare.kind
+_K_REQUEST = ClientRequest.kind
+_K_CHECKPOINT = Checkpoint.kind
+_K_VIEW_CHANGE = ViewChange.kind
+_K_NEW_VIEW = NewView.kind
 
 #: Signature of the executor callback: (operation, seq, view) -> result digest.
 Executor = Callable[[object, int, int], bytes]
@@ -93,6 +117,7 @@ class PBFTReplica:
         faults: FaultModel | None = None,
         epoch: int = 0,
         state_transfer_fn: Callable[[int], int | None] | None = None,
+        obs: "Observability | None" = None,
     ) -> None:
         self.committee = tuple(committee)
         if len(set(self.committee)) != len(self.committee):
@@ -112,6 +137,7 @@ class PBFTReplica:
         self.faults = faults or HonestFaults()
         self.epoch = epoch
         self._state_transfer_fn = state_transfer_fn
+        self._obs = obs
 
         self.n = len(self.committee)
         self.f = max_faulty(self.n)
@@ -254,19 +280,19 @@ class PBFTReplica:
         # ordered by observed frequency: prepares/commits are O(n^2) per
         # instance, everything else O(n) or rarer
         kind = payload.kind
-        if kind == "pbft.prepare":
+        if kind == _K_PREPARE:
             self.on_prepare(payload)
-        elif kind == "pbft.commit":
+        elif kind == _K_COMMIT:
             self.on_commit(payload)
-        elif kind == "pbft.pre_prepare":
+        elif kind == _K_PRE_PREPARE:
             self.on_pre_prepare(payload)
-        elif kind == "pbft.request":
+        elif kind == _K_REQUEST:
             self.on_request(payload)
-        elif kind == "pbft.checkpoint":
+        elif kind == _K_CHECKPOINT:
             self.on_checkpoint(payload)
-        elif kind == "pbft.view_change":
+        elif kind == _K_VIEW_CHANGE:
             self.on_view_change(payload)
-        elif kind == "pbft.new_view":
+        elif kind == _K_NEW_VIEW:
             self.on_new_view(payload)
         # unknown kinds are ignored: the node may co-host other protocols
 
@@ -304,7 +330,7 @@ class PBFTReplica:
         self._assigned[rid] = seq
         self._pending.setdefault(rid, request)
         digest = request.digest()
-        self._record("pbft.assigned", seq=seq, view=self.view, request_id=rid)
+        self._record(EV_PBFT_ASSIGNED, seq=seq, view=self.view, request_id=rid)
         # per-destination send so byzantine primaries can equivocate
         for dst in self.committee:
             if dst == self.node_id:
@@ -323,6 +349,8 @@ class PBFTReplica:
             sender=self.node_id, epoch=self.epoch,
         )
         self.log.add_pre_prepare(own)
+        if self._obs is not None:
+            self._obs.pbft_preprepare(self.node_id, self.epoch, self.view, seq, rid)
         self._maybe_commit(self.view, seq)
 
     # -- three phases ------------------------------------------------------------------
@@ -346,6 +374,11 @@ class PBFTReplica:
         if not self.log.add_pre_prepare(msg):
             return
         self._pending.setdefault(msg.request.request_id, msg.request)
+        if self._obs is not None:
+            self._obs.pbft_preprepare(
+                self.node_id, self.epoch, msg.view, msg.seq,
+                msg.request.request_id,
+            )
         state = self.log.instance(msg.view, msg.seq)
         if not state.prepare_sent:
             state.prepare_sent = True
@@ -377,6 +410,11 @@ class PBFTReplica:
             return
         if not state.commit_sent:
             state.commit_sent = True
+            if self._obs is not None and state.request is not None:
+                self._obs.pbft_prepared(
+                    self.node_id, self.epoch, view, seq,
+                    state.request.request_id,
+                )
             commit = Commit(
                 view=view, seq=seq, digest=state.digest,
                 sender=self.node_id, epoch=self.epoch,
@@ -430,10 +468,12 @@ class PBFTReplica:
         # vote counts ride on the event so quorum-certificate monitors
         # can audit the execution without reaching into the log
         self._record(
-            "pbft.executed", seq=seq, view=state.view, request_id=rid,
+            EV_PBFT_EXECUTED, seq=seq, view=state.view, request_id=rid,
             epoch=self.epoch, prepares=len(state.prepares),
             commits=len(state.commits),
         )
+        if self._obs is not None:
+            self._obs.pbft_executed(self.node_id, self.epoch, state.view, seq, rid)
         reply = Reply(
             view=state.view,
             timestamp=request.timestamp,
@@ -477,7 +517,7 @@ class PBFTReplica:
                 del self._checkpoint_votes[s]
             for s in [s for s in self._committed_by_seq if s <= msg.seq]:
                 del self._committed_by_seq[s]
-            self._record("pbft.checkpoint_stable", seq=msg.seq)
+            self._record(EV_PBFT_CHECKPOINT_STABLE, seq=msg.seq)
             # GC replay protection for requests the whole quorum has
             # durably executed -- they can never be legitimately
             # re-proposed past a stable checkpoint
@@ -499,11 +539,13 @@ class PBFTReplica:
     def _try_state_transfer(self, target_seq: int) -> None:
         if self._state_transfer_fn is None:
             return
+        if self._obs is not None:
+            self._obs.state_transfer(self.node_id)
         installed = self._state_transfer_fn(target_seq)
         if installed is not None and installed > self.last_executed:
             self.last_executed = installed
             self.next_seq = max(self.next_seq, installed + 1)
-            self._record("pbft.state_transfer", seq=installed)
+            self._record(EV_PBFT_STATE_TRANSFER, seq=installed)
 
     def _drain_parked_requests(self) -> None:
         """Propose requests parked while the watermark window was full."""
@@ -562,7 +604,9 @@ class PBFTReplica:
             sender=self.node_id,
             epoch=self.epoch,
         )
-        self._record("pbft.view_change", new_view=new_view, epoch=self.epoch)
+        self._record(EV_PBFT_VIEW_CHANGE, new_view=new_view, epoch=self.epoch)
+        if self._obs is not None:
+            self._obs.view_change_started(self.node_id, self.epoch, new_view)
         if self._view_change_timer is not None:
             self._view_change_timer.cancel()
         self._view_change_timer = self.sim.schedule(
@@ -650,7 +694,7 @@ class PBFTReplica:
             sender=self.node_id,
             epoch=self.epoch,
         )
-        self._record("pbft.new_view", new_view=new_view, reproposed=len(pre_prepares))
+        self._record(EV_PBFT_NEW_VIEW, new_view=new_view, reproposed=len(pre_prepares))
         self._multicast(nv)
         self._enter_view(new_view)
         self.next_seq = max(max_s, self.last_executed, self.next_seq - 1) + 1
@@ -690,7 +734,9 @@ class PBFTReplica:
         self._view_change_votes = {
             v: votes for v, votes in self._view_change_votes.items() if v > new_view
         }
-        self._record("pbft.entered_view", view=new_view, epoch=self.epoch)
+        self._record(EV_PBFT_ENTERED_VIEW, view=new_view, epoch=self.epoch)
+        if self._obs is not None:
+            self._obs.view_entered(self.node_id, self.epoch, new_view)
         # replay protocol messages that arrived before we entered the view
         for view in sorted(v for v in self._future_messages if v <= new_view):
             for msg in self._future_messages.pop(view):

@@ -30,6 +30,7 @@ from pathlib import Path
 import repro
 from repro.common.config import GPBFTConfig, VerifyConfig
 from repro.common.errors import ConfigurationError
+from repro.common.eventlog import EV_PBFT_EXECUTED
 from repro.common.rng import DeterministicRNG
 from repro.core.deployment import GPBFTDeployment
 from repro.experiments.engine import Engine, PointSpec
@@ -407,7 +408,7 @@ def run_schedule(schedule: Schedule, with_tracer: bool = False) -> RunOutcome:
         violation=violation,
         fingerprint=fingerprint.hexdigest(),
         events=host.sim.events_processed,
-        executed=host.events.count("pbft.executed"),
+        executed=host.events.count(EV_PBFT_EXECUTED),
     )
     return RunOutcome(result=result, host=host, tracer=tracer)
 

@@ -36,7 +36,15 @@ from typing import Any, NoReturn
 
 from repro.common.config import VerifyConfig
 from repro.common.errors import EraSwitchError, ReproError
-from repro.common.eventlog import Event
+from repro.common.eventlog import (
+    EV_ERA_SWITCH_COMPLETED,
+    EV_ERA_SWITCH_STARTED,
+    EV_BLOCK_COMMITTED,
+    EV_PBFT_ENTERED_VIEW,
+    EV_PBFT_EXECUTED,
+    EV_TX_COMMITTED,
+    Event,
+)
 from repro.common.quorum import quorum_size
 
 
@@ -131,7 +139,7 @@ class PrefixConsistencyMonitor(Monitor):
 
     def on_event(self, harness: "MonitorHarness", event: Event) -> None:
         """Cross-check executed slots and committed heights."""
-        if event.kind == "pbft.executed":
+        if event.kind == EV_PBFT_EXECUTED:
             key = (event.data.get("epoch", 0), event.data["seq"])
             rid = event.data["request_id"]
             seen = self._slots.get(key)
@@ -142,7 +150,7 @@ class PrefixConsistencyMonitor(Monitor):
                     f"slot epoch={key[0]} seq={key[1]} executed as "
                     f"{rid!r} on node {event.node} but {seen!r} elsewhere"
                 ), event)
-        elif event.kind == "tx.committed" and harness.mode == "per_tx":
+        elif event.kind == EV_TX_COMMITTED and harness.mode == "per_tx":
             height = event.data["height"]
             tx_id = event.data["tx_id"]
             seen = self._heights.get(height)
@@ -175,7 +183,7 @@ class QuorumCertificateMonitor(Monitor):
 
     def on_event(self, harness: "MonitorHarness", event: Event) -> None:
         """Validate the certificate behind a ``pbft.executed`` event."""
-        if event.kind != "pbft.executed":
+        if event.kind != EV_PBFT_EXECUTED:
             return
         replica = harness.replica(event.node)
         if replica is None:
@@ -214,7 +222,7 @@ class ViewChangeMonotonicityMonitor(Monitor):
 
     def on_event(self, harness: "MonitorHarness", event: Event) -> None:
         """Track ``pbft.entered_view`` events per replica and epoch."""
-        if event.kind != "pbft.entered_view":
+        if event.kind != EV_PBFT_ENTERED_VIEW:
             return
         key = (event.node, event.data.get("epoch", 0))
         view = event.data["view"]
@@ -240,16 +248,16 @@ class EraSwitchAtomicityMonitor(Monitor):
 
     name = "era-atomicity"
 
-    _COMMIT_KINDS = ("tx.committed", "block.committed")
+    _COMMIT_KINDS = (EV_TX_COMMITTED, EV_BLOCK_COMMITTED)
 
     def __init__(self) -> None:
         self._switching: set[int] = set()
 
     def on_event(self, harness: "MonitorHarness", event: Event) -> None:
         """Track switch windows and reject commits inside them."""
-        if event.kind == "era.switch_started":
+        if event.kind == EV_ERA_SWITCH_STARTED:
             self._switching.add(event.node)
-        elif event.kind == "era.switch_completed":
+        elif event.kind == EV_ERA_SWITCH_COMPLETED:
             self._switching.discard(event.node)
             node = harness.node(event.node)
             if node is not None:
@@ -277,7 +285,7 @@ class SybilCapMonitor(Monitor):
 
     def on_event(self, harness: "MonitorHarness", event: Event) -> None:
         """Audit the committee installed by an era switch."""
-        if event.kind != "era.switch_completed":
+        if event.kind != EV_ERA_SWITCH_COMPLETED:
             return
         node = harness.node(event.node)
         if node is None:

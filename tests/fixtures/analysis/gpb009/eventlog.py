@@ -1,0 +1,3 @@
+"""Fixture vocabulary module for GPB009 (path ends with eventlog.py)."""
+
+EV_TX_COMMITTED = "tx.committed"
