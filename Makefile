@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck bench bench-smoke bench-pytest sweep-smoke verify-smoke trace-smoke figures figures-paper charts examples clean
+.PHONY: install test lint typecheck bench bench-smoke bench-pytest sweep-smoke verify-smoke shard-smoke trace-smoke figures figures-paper charts examples clean
 
 install:
 	pip install -e ".[dev]"
@@ -49,6 +49,14 @@ verify-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments verify \
 		--protocol gpbft --n 6 --seeds 2 --submissions 2 --horizon 90 \
 		--out results/repro
+
+# bounded 2-zone hierarchical exploration with the cross-shard prefix
+# monitor attached: a couple of seeded multi-zone schedules (inter-zone
+# submissions included) must commit cleanly (docs/hierarchy.md)
+shard-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments verify \
+		--protocol gpbft --n 8 --zones 2 --seeds 2 --submissions 4 \
+		--horizon 60 --out results/repro
 
 # instrumented capture -> chrome trace + span dump, schema-validated,
 # phase-breakdown report printed (docs/observability.md)

@@ -20,6 +20,7 @@ from repro.common.config import (
     ElectionConfig,
     EraConfig,
     GPBFTConfig,
+    TopologySpec,
 )
 from repro.core import GPBFTDeployment
 from repro.geo.coords import LatLng
@@ -44,7 +45,7 @@ def show_state(deployment: GPBFTDeployment, label: str) -> None:
 
 
 def main() -> None:
-    deployment = GPBFTDeployment(n_nodes=8, n_endorsers=4, config=CONFIG, seed=3)
+    deployment = TopologySpec.single(8, 4, config=CONFIG, seed=3).build()
     show_state(deployment, "genesis: 4 core endorsers, 4 plain devices")
 
     # phase 1: commit some baseline transactions

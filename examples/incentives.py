@@ -13,8 +13,12 @@ Run:  python examples/incentives.py
 
 from collections import Counter
 
-from repro.common.config import ElectionConfig, EraConfig, GPBFTConfig
-from repro.core import GPBFTDeployment
+from repro.common.config import (
+    ElectionConfig,
+    EraConfig,
+    GPBFTConfig,
+    TopologySpec,
+)
 from repro.workloads import PoissonArrivals
 from repro.common.rng import DeterministicRNG
 
@@ -25,10 +29,10 @@ def main() -> None:
                                 audit_window_s=600.0, stationary_hours=72.0),
         era=EraConfig(period_s=1e12),  # keep one era: focus on incentives
     )
-    deployment = GPBFTDeployment(
-        n_nodes=12, n_endorsers=4, config=config, seed=11,
+    deployment = TopologySpec.single(
+        12, 4, config=config, seed=11,
         mode="block", block_interval_s=5.0,
-    )
+    ).build()
     print(f"committee: {deployment.committee} (block mode, 5 s producer cadence)")
 
     # devices submit payments with varying fees at Poisson times

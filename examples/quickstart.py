@@ -9,13 +9,13 @@ committee.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import GPBFTDeployment
+from repro.common.config import TopologySpec
 
 
 def main() -> None:
     # 12 nodes; the committee defaults to min(n, max_endorsers) = 12,
     # so pin it to 4 genesis endorsers to leave 8 plain devices
-    deployment = GPBFTDeployment(n_nodes=12, n_endorsers=4, seed=42)
+    deployment = TopologySpec.single(12, 4, seed=42).build()
     print(f"committee (era 0): {deployment.committee}")
     print(f"devices: {[n.node_id for n in deployment.devices]}")
 

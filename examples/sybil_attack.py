@@ -17,8 +17,8 @@ from repro.common.config import (
     ElectionConfig,
     EraConfig,
     GPBFTConfig,
+    TopologySpec,
 )
-from repro.core import GPBFTDeployment
 from repro.geo.coords import LatLng, Region
 from repro.sybil import SybilStrategy
 
@@ -38,15 +38,15 @@ CONFIG = GPBFTConfig(
 
 
 def run_attack(protected: bool, strategy: SybilStrategy, n_sybils: int = 12):
-    deployment = GPBFTDeployment(
-        n_nodes=10,
-        n_endorsers=4,
+    deployment = TopologySpec.single(
+        10,
+        4,
         config=CONFIG,
         seed=7,
         region=NEIGHBOURHOOD,
         sybil_protection=protected,
         witness_range_m=200.0,
-    )
+    ).build()
     attacker = deployment.add_sybils(n_sybils, strategy=strategy)
     deployment.run(until=3 * 7200.0 + 100.0)
     committee = deployment.committee

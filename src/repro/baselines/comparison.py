@@ -17,11 +17,14 @@ from dataclasses import dataclass, replace
 from repro.baselines.dbft import DBFTConfig, DBFTNetwork
 from repro.baselines.pos import PoSConfig, PoSNetwork
 from repro.baselines.pow import PoWConfig, PoWNetwork
-from repro.common.config import CommitteeConfig, EraConfig, GPBFTConfig
-from repro.core.deployment import GPBFTDeployment
+from repro.common.config import (
+    CommitteeConfig,
+    EraConfig,
+    GPBFTConfig,
+    TopologySpec,
+)
 from repro.core.messages import TxOperation
 from repro.metrics.collector import render_table
-from repro.pbft.cluster import PBFTCluster
 from repro.pbft.messages import RawOperation
 
 
@@ -65,7 +68,8 @@ def _measure_pbft(n: int, seed: int) -> tuple[float, float]:
     config = GPBFTConfig().replace(
         committee=CommitteeConfig(min_endorsers=4, max_endorsers=max(4, n))
     )
-    cluster = PBFTCluster(n_replicas=n, n_clients=1, config=config)
+    cluster = TopologySpec.cluster(
+        n_replicas=n, n_clients=1, config=config).build()
     before = cluster.network.stats.bytes_sent
     for k in range(_N_TXS):
         cluster.sim.schedule_at(
@@ -85,8 +89,8 @@ def _measure_gpbft(n: int, seed: int, cap: int = 8) -> tuple[float, float]:
         committee=CommitteeConfig(min_endorsers=4, max_endorsers=cap),
         era=EraConfig(period_s=1e12),
     )
-    dep = GPBFTDeployment(n_nodes=n, n_endorsers=min(n, cap), config=config,
-                          seed=seed, start_reports=False)
+    dep = TopologySpec.single(n, min(n, cap), config=config,
+                              seed=seed, start_reports=False).build()
     before = dep.network.stats.bytes_sent
     submitter = dep.nodes[max(dep.nodes)]
     for k in range(_N_TXS):

@@ -15,9 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.common.config import GPBFTConfig
+from repro.common.config import GPBFTConfig, TopologySpec
 from repro.common.errors import ConfigurationError
-from repro.pbft.cluster import PBFTCluster
 from repro.pbft.messages import RawOperation
 
 
@@ -95,9 +94,9 @@ class DBFTNetwork:
 
         base = gpbft_config or GPBFTConfig()
         cluster_config = base.replace(network=replace(base.network, seed=seed))
-        self.cluster = PBFTCluster(
+        self.cluster = TopologySpec.cluster(
             n_replicas=len(self.delegates), n_clients=1, config=cluster_config
-        )
+        ).build()
         self.sim = self.cluster.sim
         self.events = self.cluster.events
         self._pending: list[str] = []

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.bench.core import Benchmark, register
 from repro.codec import decode_prepare, encode_prepare, encode_request, decode_request
+from repro.common.config import TopologySpec
 from repro.crypto.hashing import sha256
 from repro.crypto.keys import KeyPair
 from repro.experiments.engine import PointSpec, run_point
@@ -180,6 +181,20 @@ def _e2e_pbft_n202():
     return _e2e_point(202)
 
 
+def _e2e_hier_2zone_n64():
+    """Hierarchical 2-zone deployment (32 nodes each) committing an
+    inter-zone transaction through the top-level checkpoint layer."""
+
+    def thunk() -> float:
+        hier = TopologySpec.zoned(2, 32, seed=1, start_reports=False).build()
+        hier.submit_xzone(0, dst_zone=1)
+        hier.run_for(30.0)
+        if not hier.committed_xzone(1):
+            raise RuntimeError("inter-zone tx failed to commit")
+        return hier.sim.now
+    return thunk
+
+
 #: Suite definitions; importing the module registers them in order.
 SUITE = [
     Benchmark("codec.encode_prepare", _codec_encode_prepare, ops=2000),
@@ -193,6 +208,8 @@ SUITE = [
     Benchmark("pbft.log_quorum", _pbft_log_quorum, ops=20 * 27 * 2),
     Benchmark("e2e.pbft_traffic_n40", _e2e_pbft_n40, repeats=3),
     Benchmark("e2e.pbft_traffic_n202", _e2e_pbft_n202, repeats=3,
+              warmup=0, quick=False),
+    Benchmark("e2e.hier_2zone_n64", _e2e_hier_2zone_n64, repeats=3,
               warmup=0, quick=False),
 ]
 

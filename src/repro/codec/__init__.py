@@ -31,6 +31,8 @@ from repro.codec.wire import (
     decode_checkpoint,
     decode_request,
     decode_transaction,
+    decode_xzone_tx,
+    decode_zone_checkpoint,
     encode_block,
     encode_block_header,
     encode_commit,
@@ -45,6 +47,8 @@ from repro.codec.wire import (
     encode_checkpoint,
     encode_request,
     encode_transaction,
+    encode_xzone_tx,
+    encode_zone_checkpoint,
 )
 
 __all__ = [
@@ -72,6 +76,10 @@ __all__ = [
     "decode_block_header",
     "encode_era_switch",
     "decode_era_switch",
+    "encode_xzone_tx",
+    "decode_xzone_tx",
+    "encode_zone_checkpoint",
+    "decode_zone_checkpoint",
     "encode_view_change",
     "encode_new_view",
     "encode_prepared_proof",

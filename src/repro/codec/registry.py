@@ -122,6 +122,20 @@ WIRE_MESSAGES: dict[str, dict[str, str]] = {
         "handler_module": "",
         "handler": "",
     },
+    "gpbft.xzone_tx": {
+        "encoder": "encode_xzone_tx",
+        "decoder": "decode_xzone_tx",
+        "codec_module": "repro/codec/wire.py",
+        "handler_module": "repro/core/hierarchy.py",
+        "handler": "_on_xzone_tx",
+    },
+    "gpbft.zone_checkpoint": {
+        "encoder": "encode_zone_checkpoint",
+        "decoder": "decode_zone_checkpoint",
+        "codec_module": "repro/codec/wire.py",
+        "handler_module": "repro/core/hierarchy.py",
+        "handler": "_on_zone_checkpoint",
+    },
     "pbft.prepared_proof": {
         "encoder": "encode_prepared_proof",
         "decoder": "",

@@ -36,7 +36,11 @@ from repro.pbft.messages import (
 
 if TYPE_CHECKING:
     from repro.chain.block import Block, BlockHeader
-    from repro.core.messages import EraSwitchOperation
+    from repro.core.messages import (
+        EraSwitchOperation,
+        InterZoneTx,
+        ZoneCheckpointOperation,
+    )
     from repro.pbft.messages import NewView, PreparedProof, ViewChange
 
 _ZERO_SIG = b"\x00" * SIGNATURE_BYTES
@@ -396,6 +400,66 @@ def decode_era_switch(data: bytes) -> EraSwitchOperation:
     reader.expect_end()
     return EraSwitchOperation(new_era=new_era, committee=committee,
                               added=added, removed=removed)
+
+
+# -- hierarchical (zone-sharded) messages -------------------------------------
+
+def encode_xzone_tx(msg: InterZoneTx, signature: bytes = _ZERO_SIG) -> bytes:
+    """src + dst zone u32s, the embedded transaction frame, gateway sig."""
+    _check_sig(signature)
+    writer = Writer().u32(msg.src_zone).u32(msg.dst_zone)
+    writer.raw(encode_transaction(msg.tx), expected_len=msg.tx.size_bytes)
+    writer.raw(signature, expected_len=SIGNATURE_BYTES)
+    return writer.bytes()
+
+
+def decode_xzone_tx(data: bytes) -> tuple[InterZoneTx, bytes]:
+    """Inverse of :func:`encode_xzone_tx`; returns (envelope, signature)."""
+    from repro.core.messages import InterZoneTx
+
+    reader = Reader(data)
+    src_zone = reader.u32()
+    dst_zone = reader.u32()
+    if reader.remaining < SIGNATURE_BYTES:
+        raise ValidationError("inter-zone tx frame too short")
+    tx, _tx_sig = decode_transaction(
+        reader.raw(reader.remaining - SIGNATURE_BYTES))
+    signature = reader.raw(SIGNATURE_BYTES)
+    reader.expect_end()
+    return InterZoneTx(src_zone=src_zone, dst_zone=dst_zone, tx=tx), signature
+
+
+def encode_zone_checkpoint(op: ZoneCheckpointOperation) -> bytes:
+    """zone/seq/era/height/count u32s + 32-byte head + envelope frames."""
+    writer = (Writer().u32(op.zone).u32(op.seq).u32(op.era).u32(op.height)
+              .u32(len(op.txs)))
+    writer.raw(op.head, expected_len=32)
+    for env in op.txs:
+        writer.raw(encode_xzone_tx(env), expected_len=env.size_bytes)
+    return writer.bytes()
+
+
+def decode_zone_checkpoint(data: bytes) -> ZoneCheckpointOperation:
+    """Inverse of :func:`encode_zone_checkpoint`."""
+    from repro.core.messages import ZoneCheckpointOperation
+
+    reader = Reader(data)
+    zone, seq, era, height, count = (reader.u32() for _ in range(5))
+    head = reader.raw(32)
+    txs = []
+    for _ in range(count):
+        # peek the embedded tx's declared payload length to find this
+        # envelope's extent: zones 8 + tx header 40 (payload_len at
+        # offset 17) + payload + geo 32 + tx sig 64 + gateway sig 64
+        chunk_start = len(data) - reader.remaining
+        payload_len = int.from_bytes(
+            data[chunk_start + 8 + 17:chunk_start + 8 + 21], "big")
+        env_len = 8 + 40 + payload_len + 32 + 64 + SIGNATURE_BYTES
+        env, _sig = decode_xzone_tx(reader.raw(env_len))
+        txs.append(env)
+    reader.expect_end()
+    return ZoneCheckpointOperation(zone=zone, seq=seq, era=era,
+                                   height=height, head=head, txs=tuple(txs))
 
 
 # -- view changes ---------------------------------------------------------------

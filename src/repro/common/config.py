@@ -19,9 +19,15 @@ the simulation; the derivations are documented inline and verified by
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from repro.common.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.geo.coords import Region
+    from repro.geo.zones import ZoneMap
 
 SECONDS_PER_HOUR = 3600.0
 
@@ -264,3 +270,292 @@ class GPBFTConfig:
             cfg = GPBFTConfig().replace(committee=CommitteeConfig(max_endorsers=20))
         """
         return dataclasses.replace(self, **overrides)  # type: ignore[arg-type]
+
+
+# --------------------------------------------------------------------------
+# Topology: the single entry point for constructing simulations.
+# --------------------------------------------------------------------------
+
+#: Node-id stride between zones in a hierarchical topology.  Global node
+#: ids are ``zone_index * ZONE_ID_STRIDE + local_index``, which keeps ids
+#: unique across zones while leaving room for sybils appended per zone.
+ZONE_ID_STRIDE = 10_000
+
+#: Constructor-deprecation keys that already warned this process.
+_DEPRECATED_ONCE: set[str] = set()
+
+
+def warn_constructor_deprecated(key: str, message: str) -> None:
+    """Emit a ``DeprecationWarning`` once per process for *key*.
+
+    Legacy keyword-plumbing constructors (``GPBFTDeployment(n_nodes=...)``,
+    ``PBFTCluster(n_replicas=...)``) call this on their first use so
+    existing scripts keep working but see exactly one nudge towards
+    :class:`TopologySpec`.  Tests may clear :data:`_DEPRECATED_ONCE` to
+    re-arm the warning.
+    """
+    if key in _DEPRECATED_ONCE:
+        return
+    _DEPRECATED_ONCE.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+@dataclass(frozen=True, slots=True)
+class ZoneSpec:
+    """Shape of one zone in a :class:`TopologySpec`.
+
+    Attributes:
+        name: unique short label for the zone (``"z0"``, ...).
+        n_nodes: number of IoT nodes placed in the zone.
+        n_endorsers: committee size; ``None`` defers to the committee
+            policy cap exactly like the legacy constructor default.
+        region: bounding box the zone's nodes are sampled from; ``None``
+            falls back to the deployment default region.
+        fixed_fraction: probability that a non-endorser node is
+            stationary (eligible for election after the CSC threshold).
+        id_base: first global node id of the zone; node ids are
+            ``id_base .. id_base + n_nodes - 1``.
+    """
+
+    name: str
+    n_nodes: int
+    n_endorsers: int | None = None
+    region: "Region | None" = None
+    fixed_fraction: float = 1.0
+    id_base: int = 0
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "zone name must be non-empty")
+        _require(self.n_nodes >= 1, "zone needs at least one node")
+        _require(self.n_endorsers is None or self.n_endorsers >= 1,
+                 "n_endorsers must be >= 1 when given")
+        _require(0.0 <= self.fixed_fraction <= 1.0,
+                 "fixed_fraction must lie in [0, 1]")
+        _require(self.id_base >= 0, "id_base must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class TopologySpec:
+    """Declarative description of a whole simulation topology.
+
+    One spec covers all three host shapes, replacing the scattered
+    keyword plumbing that used to live in ``GPBFTDeployment``,
+    ``PBFTCluster`` and the workload builders:
+
+    * ``protocol="pbft"`` -- a flat replica cluster
+      (:meth:`cluster`),
+    * ``protocol="gpbft"`` with one zone -- the paper's single-committee
+      deployment (:meth:`single`), bit-identical to the legacy
+      constructor for the same parameters,
+    * ``protocol="gpbft"`` with several zones -- the hierarchical
+      deployment with a top-level committee ordering inter-zone traffic
+      (:meth:`zoned`).
+
+    Call :meth:`build` to construct the matching host object.
+    """
+
+    protocol: str = "gpbft"
+    zones: tuple[ZoneSpec, ...] = ()
+    seed: int = 0
+    config: GPBFTConfig | None = None
+    mode: str = "per_tx"
+    start_reports: bool = True
+    block_interval_s: float = 5.0
+    sybil_protection: bool = False
+    witness_range_m: float = 150.0
+    n_replicas: int = 4
+    n_clients: int = 1
+    checkpoint_interval_s: float = 2.0
+    top_committee_size: int | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.protocol in ("pbft", "gpbft"),
+                 f"unknown protocol {self.protocol!r}")
+        _require(self.mode in ("per_tx", "block"),
+                 f"unknown mode {self.mode!r}")
+        _require(self.block_interval_s > 0.0, "block_interval_s must be > 0")
+        _require(self.checkpoint_interval_s > 0.0,
+                 "checkpoint_interval_s must be > 0")
+        _require(self.witness_range_m > 0.0, "witness_range_m must be > 0")
+        if self.protocol == "pbft":
+            _require(not self.zones, "pbft topologies take no zones")
+            _require(self.n_replicas >= 1, "n_replicas must be >= 1")
+            _require(self.n_clients >= 1, "n_clients must be >= 1")
+            return
+        _require(len(self.zones) >= 1, "gpbft topologies need >= 1 zone")
+        names = [zone.name for zone in self.zones]
+        _require(len(set(names)) == len(names), "zone names must be unique")
+        spans = sorted((zone.id_base, zone.id_base + zone.n_nodes)
+                       for zone in self.zones)
+        for (_, prev_end), (start, _) in zip(spans, spans[1:]):
+            _require(start >= prev_end, "zone id ranges must not overlap")
+        if len(self.zones) > 1:
+            _require(all(zone.region is not None for zone in self.zones),
+                     "multi-zone topologies need a region per zone")
+            _require(self.n_seats >= len(self.zones),
+                     "top committee needs at least one seat per zone")
+
+    # -- builders ----------------------------------------------------------
+
+    @classmethod
+    def single(cls, n_nodes: int, n_endorsers: int | None = None, *,
+               config: GPBFTConfig | None = None,
+               region: "Region | None" = None,
+               mode: str = "per_tx", fixed_fraction: float = 1.0,
+               seed: int = 0, start_reports: bool = True,
+               block_interval_s: float = 5.0,
+               sybil_protection: bool = False,
+               witness_range_m: float = 150.0) -> "TopologySpec":
+        """The paper's one-committee deployment as a degenerate topology.
+
+        ``TopologySpec.single(...).build()`` is bit-identical (same RNG
+        draw sequence, same schedule fingerprint) to the legacy
+        ``GPBFTDeployment`` keyword constructor with the same values.
+        """
+        zone = ZoneSpec(name="z0", n_nodes=n_nodes, n_endorsers=n_endorsers,
+                        region=region, fixed_fraction=fixed_fraction)
+        return cls(protocol="gpbft", zones=(zone,), seed=seed, config=config,
+                   mode=mode, start_reports=start_reports,
+                   block_interval_s=block_interval_s,
+                   sybil_protection=sybil_protection,
+                   witness_range_m=witness_range_m)
+
+    @classmethod
+    def cluster(cls, n_replicas: int = 4, n_clients: int = 1, *,
+                config: GPBFTConfig | None = None) -> "TopologySpec":
+        """A flat PBFT replica cluster (no geography, no zones)."""
+        return cls(protocol="pbft", zones=(), n_replicas=n_replicas,
+                   n_clients=n_clients, config=config)
+
+    @classmethod
+    def zoned(cls, n_zones: int, nodes_per_zone: int, *,
+              endorsers_per_zone: int | None = None,
+              region: "Region | None" = None,
+              config: GPBFTConfig | None = None, seed: int = 0,
+              mode: str = "per_tx", fixed_fraction: float = 1.0,
+              start_reports: bool = True,
+              checkpoint_interval_s: float = 2.0,
+              top_committee_size: int | None = None) -> "TopologySpec":
+        """A hierarchical topology: *n_zones* equal cells in a row.
+
+        The deployment area (default: a strip around the paper's Hong
+        Kong site sized to the zone count) is split into a ``1 x
+        n_zones`` grid; zone *i* gets node ids starting at
+        ``i * ZONE_ID_STRIDE``.
+        """
+        _require(n_zones >= 2, "zoned topologies need >= 2 zones")
+        from repro.geo.coords import LatLng, Region
+        from repro.geo.zones import ZoneMap
+        if region is None:
+            region = Region.around(LatLng(22.3193, 114.1694),
+                                   half_side_m=600.0 * n_zones)
+        grid = ZoneMap.grid(region, rows=1, cols=n_zones)
+        zones = tuple(
+            ZoneSpec(name=cell.name, n_nodes=nodes_per_zone,
+                     n_endorsers=endorsers_per_zone, region=cell.region,
+                     fixed_fraction=fixed_fraction,
+                     id_base=cell.index * ZONE_ID_STRIDE)
+            for cell in grid
+        )
+        return cls(protocol="gpbft", zones=zones, seed=seed, config=config,
+                   mode=mode, start_reports=start_reports,
+                   checkpoint_interval_s=checkpoint_interval_s,
+                   top_committee_size=top_committee_size)
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def n_zones(self) -> int:
+        """Number of zones (0 for pbft topologies)."""
+        return len(self.zones)
+
+    @property
+    def n_seats(self) -> int:
+        """Size of the top-level checkpoint committee."""
+        if self.top_committee_size is not None:
+            return self.top_committee_size
+        return max(4, len(self.zones))
+
+    def zone_seed(self, index: int) -> int:
+        """Deterministic RNG seed for zone *index*.
+
+        Single-zone topologies reuse the topology seed unchanged (this
+        is what keeps the degenerate case bit-identical to the legacy
+        constructor); multi-zone topologies decorrelate zones with a
+        fixed affine derivation.
+        """
+        _require(0 <= index < len(self.zones), f"no zone {index}")
+        if len(self.zones) == 1:
+            return self.seed
+        return self.seed + 1009 * (index + 1)
+
+    def zone_topology(self, index: int) -> "TopologySpec":
+        """The single-zone topology describing zone *index* alone."""
+        _require(self.protocol == "gpbft", "only gpbft topologies have zones")
+        _require(0 <= index < len(self.zones), f"no zone {index}")
+        return TopologySpec(
+            protocol="gpbft", zones=(self.zones[index],),
+            seed=self.zone_seed(index), config=self.config, mode=self.mode,
+            start_reports=self.start_reports,
+            block_interval_s=self.block_interval_s,
+            sybil_protection=self.sybil_protection,
+            witness_range_m=self.witness_range_m,
+            checkpoint_interval_s=self.checkpoint_interval_s)
+
+    def deployment_zone(self) -> ZoneSpec:
+        """The sole zone of a single-zone gpbft topology."""
+        _require(self.protocol == "gpbft",
+                 "deployment_zone() applies to gpbft topologies")
+        _require(len(self.zones) == 1,
+                 "deployment_zone() applies to single-zone topologies")
+        return self.zones[0]
+
+    def cluster_shape(self) -> tuple[int, int, GPBFTConfig | None]:
+        """``(n_replicas, n_clients, config)`` of a pbft topology."""
+        _require(self.protocol == "pbft",
+                 "cluster_shape() applies to pbft topologies")
+        return self.n_replicas, self.n_clients, self.config
+
+    def zone_map(self) -> "ZoneMap":
+        """The geometric :class:`repro.geo.zones.ZoneMap` of this spec."""
+        from repro.geo.zones import (ZONE_GEOHASH_PRECISION, Zone, ZoneMap)
+        from repro.geo.geohash import geohash_encode
+        cells = []
+        for index, zone in enumerate(self.zones):
+            _require(zone.region is not None,
+                     f"zone {zone.name!r} has no region; zone_map() needs "
+                     "explicit geometry")
+            assert zone.region is not None
+            cells.append(Zone(index=index, name=zone.name, region=zone.region,
+                              geohash=geohash_encode(
+                                  zone.region.center,
+                                  ZONE_GEOHASH_PRECISION)))
+        return ZoneMap(tuple(cells))
+
+    def zone_of_node(self, node_id: int) -> int:
+        """Zone index owning global *node_id* (by id range)."""
+        for index, zone in enumerate(self.zones):
+            if zone.id_base <= node_id < zone.id_base + zone.n_nodes:
+                return index
+        raise ConfigurationError(
+            f"node {node_id} belongs to no zone in this topology")
+
+    # -- construction ------------------------------------------------------
+
+    def build(self, sim: Any = None, obs: Any = None,
+              faults: dict[int, Any] | None = None) -> Any:
+        """Construct the host this spec describes.
+
+        Returns a ``PBFTCluster``, ``GPBFTDeployment`` (one zone) or
+        ``HierarchicalDeployment`` (several zones); all three expose the
+        common host surface (``sim``/``network``/``events``/``nodes`` or
+        ``replicas``/``run``/...) the explorer and experiments drive.
+        """
+        if self.protocol == "pbft":
+            from repro.pbft.cluster import PBFTCluster
+            return PBFTCluster(self, faults=faults, sim=sim, obs=obs)
+        if len(self.zones) == 1:
+            from repro.core.deployment import GPBFTDeployment
+            return GPBFTDeployment(self, sim=sim, faults=faults, obs=obs)
+        from repro.core.hierarchy import HierarchicalDeployment
+        return HierarchicalDeployment(self, sim=sim, obs=obs, faults=faults)

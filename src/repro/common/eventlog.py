@@ -52,6 +52,15 @@ EV_ERA_SWITCH_PROPOSED = "era.switch_proposed"
 EV_ERA_SWITCH_STARTED = "era.switch_started"
 EV_ERA_SWITCH_COMPLETED = "era.switch_completed"
 
+# Hierarchical (zone-sharded) deployments: inter-zone transaction
+# lifecycle and top-layer checkpoint ordering.
+EV_XZONE_SUBMITTED = "xzone.submitted"
+EV_XZONE_ORDERED = "xzone.ordered"
+EV_XZONE_DELIVERED = "xzone.delivered"
+EV_XZONE_COMMITTED = "xzone.committed"
+EV_HIER_CHECKPOINT_SUBMITTED = "hier.checkpoint_submitted"
+EV_HIER_CHECKPOINT_COMMITTED = "hier.checkpoint_committed"
+
 #: Every registered event kind (validation and test support).
 EVENT_KINDS: frozenset[str] = frozenset({
     EV_REQUEST_SUBMITTED,
@@ -76,6 +85,12 @@ EVENT_KINDS: frozenset[str] = frozenset({
     EV_ERA_SWITCH_PROPOSED,
     EV_ERA_SWITCH_STARTED,
     EV_ERA_SWITCH_COMPLETED,
+    EV_XZONE_SUBMITTED,
+    EV_XZONE_ORDERED,
+    EV_XZONE_DELIVERED,
+    EV_XZONE_COMMITTED,
+    EV_HIER_CHECKPOINT_SUBMITTED,
+    EV_HIER_CHECKPOINT_COMMITTED,
 })
 
 

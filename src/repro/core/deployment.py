@@ -11,7 +11,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.common.config import GPBFTConfig
+from repro.common.config import (
+    GPBFTConfig,
+    TopologySpec,
+    warn_constructor_deprecated,
+)
 from repro.common.errors import ConsensusError
 from repro.common.eventlog import EventLog
 from repro.common.rng import DeterministicRNG
@@ -32,8 +36,14 @@ DEFAULT_REGION = Region.around(LatLng(22.3193, 114.1694), half_side_m=500.0)
 class GPBFTDeployment:
     """N IoT nodes running G-PBFT in one simulated region.
 
+    The preferred constructor argument is a single-zone
+    :class:`~repro.common.config.TopologySpec` (build one with
+    ``TopologySpec.single(...)``); the legacy keyword signature below
+    still works but emits a one-shot ``DeprecationWarning``.
+
     Args:
-        n_nodes: total participating nodes (endorsers + plain devices).
+        n_nodes: a :class:`TopologySpec`, or (legacy) the total number
+            of participating nodes (endorsers + plain devices).
         n_endorsers: size of the genesis committee; defaults to
             ``min(n_nodes, max_endorsers)``, which is how the paper's
             sweeps populate the committee ("when the number of nodes is
@@ -57,7 +67,7 @@ class GPBFTDeployment:
 
     def __init__(
         self,
-        n_nodes: int,
+        n_nodes: TopologySpec | int | None = None,
         n_endorsers: int | None = None,
         config: GPBFTConfig | None = None,
         region: Region = DEFAULT_REGION,
@@ -72,6 +82,34 @@ class GPBFTDeployment:
         faults: dict | None = None,
         obs: "Observability | None" = None,
     ) -> None:
+        id_base = 0
+        if isinstance(n_nodes, TopologySpec):
+            self.spec = n_nodes
+            zone = self.spec.deployment_zone()
+            n_nodes = zone.n_nodes
+            n_endorsers = zone.n_endorsers
+            config = self.spec.config
+            region = zone.region if zone.region is not None else DEFAULT_REGION
+            mode = self.spec.mode
+            fixed_fraction = zone.fixed_fraction
+            seed = self.spec.zone_seed(0)
+            start_reports = self.spec.start_reports
+            block_interval_s = self.spec.block_interval_s
+            sybil_protection = self.spec.sybil_protection
+            witness_range_m = self.spec.witness_range_m
+            id_base = zone.id_base
+        else:
+            if n_nodes is None:
+                raise ConsensusError(
+                    "GPBFTDeployment needs a TopologySpec or n_nodes")
+            self.spec = None
+            warn_constructor_deprecated(
+                "GPBFTDeployment",
+                "building GPBFTDeployment from raw keywords is deprecated; "
+                "construct it via TopologySpec.single(...).build() "
+                "(see docs/hierarchy.md)",
+            )
+        self.id_base = id_base
         self.config = config or GPBFTConfig()
         policy = self.config.committee
         if n_endorsers is None:
@@ -105,9 +143,10 @@ class GPBFTDeployment:
         # -- placement -------------------------------------------------------
         placement = self.rng.fork("placement")
         self.positions: dict[int, LatLng] = {
-            node: region.sample(placement) for node in range(n_nodes)
+            node: region.sample(placement)
+            for node in range(id_base, id_base + n_nodes)
         }
-        endorser_ids = tuple(range(n_endorsers))
+        endorser_ids = tuple(range(id_base, id_base + n_endorsers))
         self.genesis = build_genesis(
             {node: self.positions[node] for node in endorser_ids},
             policy=policy,
@@ -118,7 +157,7 @@ class GPBFTDeployment:
         # indexed directory: nodes route and witness via spatial queries
         self.directory: IndexedDirectory = IndexedDirectory(self.positions)
         self.nodes: dict[int, GPBFTNode] = {}
-        for node_id in range(n_nodes):
+        for node_id in range(id_base, id_base + n_nodes):
             fixed = node_id in endorser_ids or placement.random() < fixed_fraction
             node = GPBFTNode(
                 node_id=node_id,
@@ -164,7 +203,7 @@ class GPBFTDeployment:
                     self._oracle,
                 )
         self._start_reports = start_reports
-        self._next_node_id = n_nodes
+        self._next_node_id = id_base + n_nodes
 
     # ------------------------------------------------------------------
 

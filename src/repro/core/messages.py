@@ -187,3 +187,95 @@ class BlockProposalOperation:
     def signing_bytes(self) -> bytes:
         """Canonical bytes committed to by request digests."""
         return digest_concat(b"block-proposal", self.block.digest(), str(self.producer).encode())
+
+
+@dataclass(frozen=True, slots=True)
+class InterZoneTx:
+    """Envelope carrying a transaction from its home zone to another.
+
+    The source zone's gateway wraps a locally committed transaction in
+    this payload; it travels to the top-level committee inside a
+    :class:`ZoneCheckpointOperation` and, once globally ordered, to the
+    destination zone's gateway for local re-execution.
+    """
+
+    src_zone: int
+    dst_zone: int
+    tx: Transaction
+
+    def __post_init__(self) -> None:
+        if self.src_zone < 0 or self.dst_zone < 0:
+            raise ConsensusError("zone indices must be >= 0")
+        if self.src_zone == self.dst_zone:
+            raise ConsensusError("inter-zone tx must cross zones")
+
+    @property
+    def kind(self) -> str:
+        """Message kind for dispatch and traffic accounting."""
+        return "gpbft.xzone_tx"
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size in bytes (verified by repro.codec)."""
+        # wire layout (repro.codec): src + dst zone words, the embedded
+        # transaction frame, and the source gateway's signature
+        return 2 * _INT_BYTES + self.tx.size_bytes + SIGNATURE_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class ZoneCheckpointOperation:
+    """PBFT operation the top-level committee orders for one zone.
+
+    A zone gateway batches its pending outbound :class:`InterZoneTx`
+    envelopes, stamps them with the zone chain's era/height/head, and
+    submits the bundle as one operation.  The committed sequence of
+    checkpoint operations *is* the global inter-zone order: envelope
+    ``pos`` of checkpoint ``top_seq`` has global index
+    ``(top_seq, pos)``.
+
+    Attributes:
+        zone: index of the originating zone.
+        seq: the gateway's own checkpoint counter (dedup key part).
+        era: the zone chain's era at assembly time.
+        height: the zone chain's height at assembly time.
+        head: digest of the zone chain's head block (32 bytes).
+        txs: the batched outbound envelopes, in local commit order.
+    """
+
+    zone: int
+    seq: int
+    era: int
+    height: int
+    head: bytes
+    txs: tuple[InterZoneTx, ...]
+
+    def __post_init__(self) -> None:
+        if self.zone < 0 or self.seq < 0 or self.era < 0 or self.height < 0:
+            raise ConsensusError("zone/seq/era/height must be >= 0")
+        if len(self.head) != 32:
+            raise ConsensusError("head must be a 32-byte digest")
+
+    @property
+    def op_id(self) -> str:
+        """Unique operation id (PBFT request dedup key)."""
+        return f"zone-ckpt:{self.zone}:{self.seq}"
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size in bytes (verified by repro.codec)."""
+        # wire layout (repro.codec): zone + seq + era + height + count
+        # words, the 32-byte head, then the envelope frames
+        return (5 * _INT_BYTES + len(self.head)
+                + sum(env.size_bytes for env in self.txs))
+
+    def signing_bytes(self) -> bytes:
+        """Canonical bytes committed to by request digests."""
+        return digest_concat(
+            b"zone-checkpoint",
+            str(self.zone).encode(),
+            str(self.seq).encode(),
+            str(self.era).encode(),
+            str(self.height).encode(),
+            self.head,
+            *[env.tx.signing_bytes() for env in self.txs],
+        )

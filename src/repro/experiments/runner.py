@@ -13,15 +13,18 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.common.config import CommitteeConfig, EraConfig, GPBFTConfig
+from repro.common.config import (
+    CommitteeConfig,
+    EraConfig,
+    GPBFTConfig,
+    TopologySpec,
+)
 from repro.common.errors import ConsensusError
 from repro.common.eventlog import EV_PBFT_EXECUTED, EV_REQUEST_COMPLETED
 from repro.common.rng import DeterministicRNG
-from repro.core.deployment import GPBFTDeployment
 from repro.core.messages import TxOperation
 from repro.experiments.engine import Engine, PointSpec
 from repro.metrics.collector import SweepResult
-from repro.pbft.cluster import PBFTCluster
 from repro.pbft.messages import RawOperation
 
 #: Serialized size of the transaction payload used across experiments --
@@ -111,7 +114,8 @@ def _pbft_latency_point(
     """
     total = warmup + measured
     config = _experiment_config(seed, max_endorsers=max(n, 4))
-    cluster = PBFTCluster(n_replicas=n, n_clients=min(n, total), config=config)
+    cluster = TopologySpec.cluster(
+        n_replicas=n, n_clients=min(n, total), config=config).build()
     client_ids = sorted(cluster.clients)
     interval = proposal_period_s / n
     submissions: list[tuple[str, float]] = []  # (request id, submit time)
@@ -159,13 +163,13 @@ def _gpbft_latency_point(
     """
     total = warmup + measured
     config = _experiment_config(seed, max_endorsers=max_endorsers)
-    dep = GPBFTDeployment(
-        n_nodes=n,
-        n_endorsers=min(n, max_endorsers),
+    dep = TopologySpec.single(
+        n,
+        min(n, max_endorsers),
         config=config,
         seed=seed,
         start_reports=False,
-    )
+    ).build()
     node_ids = sorted(dep.nodes)
     interval = proposal_period_s / n
     submissions: list[tuple[str, float]] = []
@@ -200,7 +204,8 @@ def _gpbft_latency_point(
 def _pbft_traffic_point(n: int, seed: int = 0) -> float:
     """KB moved by one transaction through PBFT with *n* replicas."""
     config = _experiment_config(seed, max_endorsers=max(n, 4))
-    cluster = PBFTCluster(n_replicas=n, n_clients=1, config=config)
+    cluster = TopologySpec.cluster(
+        n_replicas=n, n_clients=1, config=config).build()
     before = cluster.network.stats.snapshot()
     cluster.submit(RawOperation(op_id=f"traffic-{seed}", size_bytes=TX_OP_BYTES))
     # hoisted: ``any_client`` re-resolves the min client id per call and
@@ -225,13 +230,13 @@ def _gpbft_traffic_point(n: int, seed: int = 0, max_endorsers: int = 40) -> floa
     replies to the device).
     """
     config = _experiment_config(seed, max_endorsers=max_endorsers)
-    dep = GPBFTDeployment(
-        n_nodes=n,
-        n_endorsers=min(n, max_endorsers),
+    dep = TopologySpec.single(
+        n,
+        min(n, max_endorsers),
         config=config,
         seed=seed,
         start_reports=False,
-    )
+    ).build()
     submitter = dep.nodes[max(dep.nodes)]  # a device when devices exist
     before = dep.network.stats.snapshot()
     submitter.submit_transaction()

@@ -14,7 +14,9 @@ Everything location-related that G-PBFT consumes lives here:
 * :mod:`repro.geo.verification` -- neighbour-witness plausibility checks
   that back the paper's Sybil-resistance argument (section IV-A1);
 * :mod:`repro.geo.index` -- a geohash-bucketed spatial index for
-  nearest-endorser routing and witness discovery.
+  nearest-endorser routing and witness discovery;
+* :mod:`repro.geo.zones` -- rectangular zone partitions of the map for
+  hierarchical (sharded) deployments.
 """
 
 from repro.geo.coords import LatLng, Region, haversine_m, EARTH_RADIUS_M
@@ -23,8 +25,11 @@ from repro.geo.csc import CryptoSpatialCoordinate
 from repro.geo.reports import GeoReport, ReportHistory
 from repro.geo.verification import LocationAuditor, WitnessStatement, AuditVerdict
 from repro.geo.index import SpatialIndex, IndexedDirectory
+from repro.geo.zones import Zone, ZoneMap
 
 __all__ = [
+    "Zone",
+    "ZoneMap",
     "LatLng",
     "Region",
     "haversine_m",

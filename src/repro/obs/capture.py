@@ -11,12 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.common.config import GPBFTConfig
+from repro.common.config import GPBFTConfig, TopologySpec
 from repro.common.errors import ConfigurationError
-from repro.core.deployment import GPBFTDeployment
 from repro.obs.core import Observability
 from repro.obs.spans import Span
-from repro.pbft.cluster import PBFTCluster
 from repro.pbft.messages import RawOperation
 
 #: Matches the verify explorer's synthetic transaction payload size.
@@ -76,14 +74,15 @@ def capture_run(
     config = base.replace(network=replace(base.network, seed=seed))
     obs = Observability()
     if protocol == "pbft":
-        host = PBFTCluster(n_replicas=n, n_clients=1, config=config, obs=obs)
+        host = TopologySpec.cluster(
+            n_replicas=n, n_clients=1, config=config).build(obs=obs)
         client = host.any_client
         for k in range(submissions):
             op = RawOperation(op_id=f"cap-{seed}-{k}", size_bytes=_TX_BYTES)
             host.sim.schedule_at(1.0 + 0.75 * k, client.submit, op)
     else:
-        host = GPBFTDeployment(
-            n_nodes=n, config=config, seed=seed, start_reports=False, obs=obs)
+        host = TopologySpec.single(
+            n, config=config, seed=seed, start_reports=False).build(obs=obs)
         ids = sorted(host.nodes)
         for k in range(submissions):
             host.sim.schedule_at(

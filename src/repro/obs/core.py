@@ -183,3 +183,30 @@ class Observability:
     def state_transfer(self, node: int) -> None:
         """Replica *node* requested a state transfer."""
         self.registry.counter("pbft.state_transfers").inc()
+
+    # -- hierarchical (zone-sharded) deployments --------------------------
+
+    def zone_checkpoint_submitted(self, zone: str, seq: int, txs: int) -> None:
+        """Zone gateway submitted checkpoint *seq* to the top layer."""
+        self.tracer.open(
+            f"ckpt/{zone}/{seq}", "zone-checkpoint", cat="hier",
+            zone=zone, seq=seq, txs=txs,
+        )
+        self.registry.counter("hier.checkpoints_submitted").child(zone).inc()
+
+    def zone_checkpoint_committed(self, zone: str, seq: int, txs: int) -> None:
+        """Top layer committed zone checkpoint *seq*; records latency."""
+        span = self.tracer.close(f"ckpt/{zone}/{seq}")
+        if span is not None:
+            self.registry.histogram(
+                "hier.checkpoint_latency_s", LATENCY_EDGES).observe(span.duration)
+        self.registry.counter("hier.checkpoints_committed").child(zone).inc()
+        self.registry.counter("hier.xzone_txs_ordered").inc(txs)
+
+    def xzone_delivered(self, zone: str) -> None:
+        """An ordered inter-zone tx reached destination *zone*'s gateway."""
+        self.registry.counter("hier.xzone_txs_delivered").child(zone).inc()
+
+    def xzone_committed(self, zone: str) -> None:
+        """Destination *zone* committed a delivered inter-zone tx."""
+        self.registry.counter("hier.xzone_txs_committed").child(zone).inc()

@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.common.config import GPBFTConfig
+from repro.common.config import (
+    GPBFTConfig,
+    TopologySpec,
+    warn_constructor_deprecated,
+)
 from repro.common.errors import ConsensusError
 from repro.common.eventlog import EV_PBFT_STATE_TRANSFER, EventLog
 from repro.crypto.hashing import sha256
@@ -49,8 +53,14 @@ class _ExecutedLog:
 class PBFTCluster:
     """N replicas + M clients on a fresh simulator and network.
 
+    The preferred constructor argument is a pbft
+    :class:`~repro.common.config.TopologySpec` (build one with
+    ``TopologySpec.cluster(...)``); the legacy keyword signature below
+    still works but emits a one-shot ``DeprecationWarning``.
+
     Args:
-        n_replicas: committee size (>= 4).
+        n_replicas: a :class:`TopologySpec`, or (legacy) the committee
+            size (>= 4).
         n_clients: number of client endpoints (ids follow the replicas).
         config: full configuration bundle (network + pbft sections used).
         faults: optional map replica id -> :class:`FaultModel`.
@@ -64,13 +74,24 @@ class PBFTCluster:
 
     def __init__(
         self,
-        n_replicas: int = 4,
+        n_replicas: TopologySpec | int = 4,
         n_clients: int = 1,
         config: GPBFTConfig | None = None,
         faults: dict[int, FaultModel] | None = None,
         sim: Simulator | None = None,
         obs: "Observability | None" = None,
     ) -> None:
+        if isinstance(n_replicas, TopologySpec):
+            self.spec = n_replicas
+            n_replicas, n_clients, config = self.spec.cluster_shape()
+        else:
+            self.spec = None
+            warn_constructor_deprecated(
+                "PBFTCluster",
+                "building PBFTCluster from raw keywords is deprecated; "
+                "construct it via TopologySpec.cluster(...).build() "
+                "(see docs/hierarchy.md)",
+            )
         if n_replicas < 4:
             raise ConsensusError("PBFT needs at least 4 replicas")
         if n_clients < 0:

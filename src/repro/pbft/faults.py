@@ -18,6 +18,11 @@ class FaultModel:
     #: True while the node ignores all input (crash fault).
     crashed: bool = False
 
+    #: True for a zone gateway that skips the top-level checkpoint
+    #: ordering and ships inter-zone transactions straight to the
+    #: destination zone (hierarchical safety bug for mutation tests).
+    xzone_bypass: bool = False
+
     def drop_incoming(self, kind: str) -> bool:
         """Return True to silently ignore an incoming message."""
         return self.crashed
@@ -129,3 +134,17 @@ class SelectiveDropFaults(FaultModel):
     def suppress_send(self, kind: str) -> bool:
         """Withhold matching outgoing messages."""
         return kind in self.kinds
+
+
+class XZoneBypassFaults(FaultModel):
+    """Zone gateway that forwards inter-zone txs without global ordering.
+
+    Attached to a *zone index* (not a node id) in hierarchical
+    deployments: the zone's gateway sends committed outbound envelopes
+    directly to the destination gateway instead of batching them into a
+    checkpoint for the top-level committee.  The destination zone then
+    commits transactions the top layer never ordered -- exactly the
+    violation the ``cross-shard-prefix`` monitor exists to catch.
+    """
+
+    xzone_bypass = True

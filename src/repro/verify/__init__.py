@@ -17,6 +17,7 @@ See ``docs/verification.md`` for the catalog and workflows.
 """
 
 from repro.verify.invariants import (
+    CrossShardPrefixConsistencyMonitor,
     InvariantViolation,
     Monitor,
     MonitorHarness,
@@ -24,6 +25,7 @@ from repro.verify.invariants import (
 )
 
 __all__ = [
+    "CrossShardPrefixConsistencyMonitor",
     "InvariantViolation",
     "Monitor",
     "MonitorHarness",

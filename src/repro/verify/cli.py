@@ -60,6 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="transactions submitted per schedule")
     parser.add_argument("--horizon", type=float, default=90.0,
                         help="simulated seconds per schedule")
+    parser.add_argument("--zones", type=int, default=1,
+                        help="zones per schedule (gpbft only; > 1 explores "
+                             "a hierarchical deployment of n/zones nodes "
+                             "per zone)")
     parser.add_argument("--fault", type=_fault, action="append", default=[],
                         metavar="NODE:NAME",
                         help="plant a fault model (repeatable); names: "
@@ -90,6 +94,7 @@ def main(argv: list[str] | None = None) -> int:
         engine=Engine(jobs=args.jobs, use_cache=False),
         out_dir=args.out,
         shrink_budget=args.shrink_budget,
+        zones=args.zones,
     )
     print(report.text())
     return 0 if report.ok else 1

@@ -28,20 +28,19 @@ from functools import partial
 from pathlib import Path
 
 import repro
-from repro.common.config import GPBFTConfig, VerifyConfig
+from repro.common.config import GPBFTConfig, TopologySpec, VerifyConfig
 from repro.common.errors import ConfigurationError
 from repro.common.eventlog import EV_PBFT_EXECUTED
 from repro.common.rng import DeterministicRNG
-from repro.core.deployment import GPBFTDeployment
 from repro.experiments.engine import Engine, PointSpec
 from repro.net.network import SimulatedNetwork
 from repro.net.tracer import MessageTracer
-from repro.pbft.cluster import PBFTCluster
 from repro.pbft.faults import (
     CrashFaults,
     EquivocatingFaults,
     MuteFaults,
     QuorumUndercountFaults,
+    XZoneBypassFaults,
 )
 from repro.pbft.messages import RawOperation
 from repro.verify.invariants import InvariantViolation
@@ -58,6 +57,7 @@ FAULT_REGISTRY = {
     "crash": partial(CrashFaults, True),
     "mute": MuteFaults,
     "equivocate": EquivocatingFaults,
+    "xzone_bypass": XZoneBypassFaults,
 }
 
 #: Perturbation operations a schedule may contain.
@@ -135,7 +135,11 @@ class Schedule:
             this time.
         perturbations: disturbances applied during the run.
         faults: planted fault models as ``(node_id, registry_name)``
-            pairs (see :data:`FAULT_REGISTRY`).
+            pairs (see :data:`FAULT_REGISTRY`).  In multi-zone
+            schedules, ``xzone_bypass`` keys are zone indices; other
+            fault keys are global node ids.
+        zones: number of zones (gpbft only; > 1 builds a hierarchical
+            deployment of ``n // zones`` nodes per zone).
     """
 
     protocol: str = "pbft"
@@ -146,6 +150,7 @@ class Schedule:
     era_switch_at: float | None = None
     perturbations: tuple[Perturbation, ...] = ()
     faults: tuple[tuple[int, str], ...] = ()
+    zones: int = 1
 
     def __post_init__(self) -> None:
         if self.protocol not in ("pbft", "gpbft"):
@@ -158,6 +163,14 @@ class Schedule:
             raise ConfigurationError("horizon_s must be positive")
         if self.era_switch_at is not None and self.protocol != "gpbft":
             raise ConfigurationError("era_switch_at requires protocol gpbft")
+        if self.zones < 1:
+            raise ConfigurationError("zones must be >= 1")
+        if self.zones > 1:
+            if self.protocol != "gpbft":
+                raise ConfigurationError("multi-zone schedules require gpbft")
+            if self.n % self.zones != 0 or self.n // self.zones < 4:
+                raise ConfigurationError(
+                    "n must split evenly into zones of >= 4 nodes")
         for _node, name in self.faults:
             if name not in FAULT_REGISTRY:
                 raise ConfigurationError(f"unknown fault model {name!r}")
@@ -170,6 +183,7 @@ class Schedule:
             "era_switch_at": self.era_switch_at,
             "perturbations": [p.to_json() for p in self.perturbations],
             "faults": [[node, name] for node, name in self.faults],
+            "zones": self.zones,
         }
 
     @classmethod
@@ -182,6 +196,7 @@ class Schedule:
             perturbations=tuple(
                 Perturbation.from_json(p) for p in data.get("perturbations", ())),
             faults=tuple((node, name) for node, name in data.get("faults", ())),
+            zones=data.get("zones", 1),
         )
 
     def canonical_json(self) -> str:
@@ -335,11 +350,17 @@ def _build_host(schedule: Schedule):
     config = _schedule_config(schedule)
     faults = {node: FAULT_REGISTRY[name]() for node, name in schedule.faults}
     if schedule.protocol == "pbft":
-        return PBFTCluster(n_replicas=schedule.n, n_clients=1,
-                           config=config, faults=faults)
-    return GPBFTDeployment(n_nodes=schedule.n, config=config,
-                           seed=schedule.seed, start_reports=False,
-                           faults=faults)
+        spec = TopologySpec.cluster(n_replicas=schedule.n, n_clients=1,
+                                    config=config)
+    elif schedule.zones > 1:
+        spec = TopologySpec.zoned(schedule.zones,
+                                  schedule.n // schedule.zones,
+                                  config=config, seed=schedule.seed,
+                                  start_reports=False)
+    else:
+        spec = TopologySpec.single(schedule.n, config=config,
+                                   seed=schedule.seed, start_reports=False)
+    return spec.build(faults=faults)
 
 
 def _apply_perturbations(schedule: Schedule, host,
@@ -446,14 +467,22 @@ def generate_schedule(
     horizon_s: float = 90.0,
     faults: tuple[tuple[int, str], ...] = (),
     max_perturbations: int = 3,
+    zones: int = 1,
 ) -> Schedule:
     """Derive a seeded random schedule (same seed, same schedule).
 
     Perturbation count, kinds, windows, targets and probabilities all
     come from ``DeterministicRNG(seed, "verify/schedule")``, so the
     explorer's search space is reproducible from the seed list alone.
+
+    In multi-zone schedules (``zones > 1``) crash and partition
+    perturbations target the *backbone* -- the top-level committee
+    seats -- since that is the network the perturber wraps there; a
+    partition splits one zone's seats from the rest, the explorer's way
+    of cutting zones apart.
     """
     rng = DeterministicRNG(seed, "verify/schedule")
+    n_seats = max(4, zones)
     count = rng.integers(1, max_perturbations + 1)
     perturbations: list[Perturbation] = []
     for _ in range(count):
@@ -461,12 +490,19 @@ def generate_schedule(
         at = rng.uniform(0.5, max(1.0, horizon_s * 0.4))
         until = at + rng.uniform(1.0, max(2.0, horizon_s * 0.3))
         if op == "crash":
+            pool = n if zones == 1 else n_seats
             perturbations.append(Perturbation(
-                "crash", at, until, node=rng.integers(0, n)))
+                "crash", at, until, node=rng.integers(0, pool)))
         elif op == "partition":
-            ids = list(range(n))
-            rng.shuffle(ids)
-            group = tuple(sorted(ids[:rng.integers(1, max(2, n // 2 + 1))]))
+            if zones > 1:
+                target = rng.integers(0, zones)
+                group = tuple(seat for seat in range(n_seats)
+                              if seat % zones == target)
+            else:
+                ids = list(range(n))
+                rng.shuffle(ids)
+                group = tuple(sorted(
+                    ids[:rng.integers(1, max(2, n // 2 + 1))]))
             perturbations.append(Perturbation(
                 "partition", at, until, nodes=group))
         elif op == "drop":
@@ -483,6 +519,7 @@ def generate_schedule(
         protocol=protocol, n=n, seed=seed, submissions=submissions,
         horizon_s=horizon_s, era_switch_at=era_switch_at,
         perturbations=tuple(perturbations), faults=tuple(faults),
+        zones=zones,
     )
 
 
@@ -623,6 +660,7 @@ def explore(
     out_dir: Path | str | None = None,
     shrink_budget: int = 48,
     max_perturbations: int = 3,
+    zones: int = 1,
 ) -> ExplorationReport:
     """Fan seeded schedules across the engine and shrink any failure.
 
@@ -637,7 +675,7 @@ def explore(
     schedules = [
         generate_schedule(protocol, n, seed, submissions=submissions,
                           horizon_s=horizon_s, faults=faults,
-                          max_perturbations=max_perturbations)
+                          max_perturbations=max_perturbations, zones=zones)
         for seed in seeds
     ]
     values = eng.map([schedule_spec(s) for s in schedules])

@@ -43,6 +43,8 @@ from repro.common.eventlog import (
     EV_PBFT_ENTERED_VIEW,
     EV_PBFT_EXECUTED,
     EV_TX_COMMITTED,
+    EV_XZONE_COMMITTED,
+    EV_XZONE_ORDERED,
     Event,
 )
 from repro.common.quorum import quorum_size
@@ -302,6 +304,61 @@ class SybilCapMonitor(Monitor):
                 f"node {event.node} installed blacklisted members "
                 f"{sorted(banned)}"
             ), event)
+
+
+class CrossShardPrefixConsistencyMonitor(Monitor):
+    """Inter-zone commits must follow the top layer's global order.
+
+    Hierarchical deployments record an ``xzone.ordered`` event when the
+    top-level committee assigns an inter-zone transaction its global
+    index ``(top_seq, pos)``, and an ``xzone.committed`` event when the
+    destination zone finally commits it.  Two things must hold, per
+    destination zone:
+
+    * **no unordered commits** -- every committed inter-zone tx was
+      previously ordered (a gateway that bypasses the top layer, the
+      ``xzone_bypass`` mutation, breaks exactly this);
+    * **prefix order** -- commits happen in strictly increasing global
+      index, so every zone's inter-zone history is a prefix of the one
+      global checkpoint sequence.
+
+    Attached automatically (alongside :func:`default_monitors`) by
+    ``HierarchicalDeployment`` when monitors are enabled; it is inert on
+    single-zone hosts, which never emit xzone events.
+    """
+
+    name = "cross-shard-prefix"
+
+    def __init__(self) -> None:
+        # (dst zone, tx id) -> global index assigned by the top layer
+        self._ordered: dict[tuple[int, str], tuple[int, int]] = {}
+        # dst zone -> (global index, tx id) of its latest commit
+        self._last: dict[int, tuple[tuple[int, int], str]] = {}
+
+    def on_event(self, harness: "MonitorHarness", event: Event) -> None:
+        """Track ordering grants; check each destination-zone commit."""
+        if event.kind == EV_XZONE_ORDERED:
+            key = (event.data["zone"], event.data["tx_id"])
+            self._ordered[key] = (event.data["top_seq"], event.data["pos"])
+            return
+        if event.kind != EV_XZONE_COMMITTED:
+            return
+        zone = event.data["zone"]
+        tx_id = event.data["tx_id"]
+        index = self._ordered.get((zone, tx_id))
+        if index is None:
+            harness.fail(self, (
+                f"zone {zone} committed inter-zone tx {tx_id} that the "
+                f"top layer never ordered (checkpoint bypass)"
+            ), event)
+        last = self._last.get(zone)
+        if last is not None and index <= last[0]:
+            harness.fail(self, (
+                f"zone {zone} committed inter-zone tx {tx_id} at global "
+                f"index {index} after {last[1]} at {last[0]}: cross-shard "
+                f"prefix order broken"
+            ), event)
+        self._last[zone] = (index, tx_id)
 
 
 def default_monitors() -> list[Monitor]:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.common.config import GPBFTConfig
+from repro.common.config import GPBFTConfig, TopologySpec
 from repro.common.errors import ConfigurationError
 from repro.common.rng import DeterministicRNG
 from repro.core.deployment import GPBFTDeployment
@@ -85,13 +85,13 @@ def smart_city_scenario(
     config = config or GPBFTConfig()
     total = n_lamps + n_vehicles
     n_endorsers = min(n_lamps, config.committee.max_endorsers)
-    deployment = GPBFTDeployment(
-        n_nodes=total,
-        n_endorsers=n_endorsers,
+    deployment = TopologySpec.single(
+        total,
+        n_endorsers,
         config=config,
         region=region,
         seed=seed,
-    )
+    ).build()
     _apply_grid_layout(deployment, range(n_lamps), region)
 
     rng = DeterministicRNG(seed, "smart-city")
@@ -150,13 +150,13 @@ def asset_tracking_scenario(
     region = region or Region.around(LatLng(22.3100, 114.2100), half_side_m=100.0)
     config = config or GPBFTConfig()
     total = n_readers + n_assets
-    deployment = GPBFTDeployment(
-        n_nodes=total,
-        n_endorsers=min(n_readers, config.committee.max_endorsers),
+    deployment = TopologySpec.single(
+        total,
+        min(n_readers, config.committee.max_endorsers),
         config=config,
         region=region,
         seed=seed,
-    )
+    ).build()
     _apply_grid_layout(deployment, range(n_readers), region)
 
     rng = DeterministicRNG(seed, "asset-tracking")
@@ -220,13 +220,13 @@ def parking_lot_scenario(
     region = region or Region.around(LatLng(22.3050, 114.1800), half_side_m=120.0)
     config = config or GPBFTConfig()
     total = n_machines + n_cars
-    deployment = GPBFTDeployment(
-        n_nodes=total,
-        n_endorsers=min(n_machines, config.committee.max_endorsers),
+    deployment = TopologySpec.single(
+        total,
+        min(n_machines, config.committee.max_endorsers),
         config=config,
         region=region,
         seed=seed,
-    )
+    ).build()
     _apply_grid_layout(deployment, range(n_machines), region)
 
     rng = DeterministicRNG(seed, "parking-lot")

@@ -1,0 +1,204 @@
+"""The TopologySpec API: validation, build dispatch, deprecation
+shims, 1-zone bit-identity, and the hierarchical (multi-zone) layer.
+
+The unified spec replaces the scattered keyword plumbing in
+``GPBFTDeployment`` / ``PBFTCluster``; these tests pin the contract:
+
+* a degenerate 1-zone spec builds a deployment bit-identical to the
+  legacy constructor (same chains, same completion latencies);
+* the legacy constructors still work but warn exactly once per process;
+* a multi-zone spec builds a hierarchical deployment whose top-level
+  committee orders inter-zone transactions through zone checkpoints,
+  and the cross-shard prefix monitor catches a planted bypass.
+"""
+
+import warnings
+
+import pytest
+
+from repro.common import config as config_mod
+from repro.common.config import (
+    GPBFTConfig,
+    TopologySpec,
+    VerifyConfig,
+    ZONE_ID_STRIDE,
+    ZoneSpec,
+)
+from repro.common.errors import ConfigurationError
+from repro.common.eventlog import EV_XZONE_COMMITTED, EV_XZONE_ORDERED
+from repro.core.deployment import GPBFTDeployment
+from repro.core.hierarchy import HierarchicalDeployment
+from repro.geo.coords import LatLng, Region
+from repro.pbft.cluster import PBFTCluster
+from repro.pbft.faults import XZoneBypassFaults
+from repro.verify import InvariantViolation
+
+REGION = Region.around(LatLng(22.3193, 114.1694), half_side_m=500.0)
+
+
+def _monitored() -> GPBFTConfig:
+    base = GPBFTConfig()
+    return base.replace(verify=VerifyConfig(monitors=True))
+
+
+class TestSpecValidation:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopologySpec(protocol="raft")
+
+    def test_pbft_takes_no_zones(self):
+        with pytest.raises(ConfigurationError):
+            TopologySpec(protocol="pbft",
+                         zones=(ZoneSpec(name="z0", n_nodes=4),))
+
+    def test_gpbft_needs_a_zone(self):
+        with pytest.raises(ConfigurationError):
+            TopologySpec(protocol="gpbft", zones=())
+
+    def test_zone_names_must_be_unique(self):
+        zones = (ZoneSpec(name="z", n_nodes=4, region=REGION),
+                 ZoneSpec(name="z", n_nodes=4, region=REGION,
+                          id_base=ZONE_ID_STRIDE))
+        with pytest.raises(ConfigurationError):
+            TopologySpec(zones=zones)
+
+    def test_zone_id_ranges_must_not_overlap(self):
+        zones = (ZoneSpec(name="a", n_nodes=8, region=REGION),
+                 ZoneSpec(name="b", n_nodes=4, region=REGION, id_base=4))
+        with pytest.raises(ConfigurationError):
+            TopologySpec(zones=zones)
+
+    def test_multi_zone_needs_regions(self):
+        zones = (ZoneSpec(name="a", n_nodes=4),
+                 ZoneSpec(name="b", n_nodes=4, id_base=ZONE_ID_STRIDE))
+        with pytest.raises(ConfigurationError):
+            TopologySpec(zones=zones)
+
+    def test_zoned_builder_shape(self):
+        spec = TopologySpec.zoned(3, 5)
+        assert spec.n_zones == 3
+        assert spec.n_seats == 4  # max(4, n_zones)
+        assert [z.id_base for z in spec.zones] == \
+            [0, ZONE_ID_STRIDE, 2 * ZONE_ID_STRIDE]
+        assert len({z.name for z in spec.zones}) == 3
+        assert all(z.region is not None for z in spec.zones)
+
+    def test_zone_of_node_uses_id_ranges(self):
+        spec = TopologySpec.zoned(2, 6)
+        assert spec.zone_of_node(0) == 0
+        assert spec.zone_of_node(ZONE_ID_STRIDE + 5) == 1
+        with pytest.raises(ConfigurationError):
+            spec.zone_of_node(ZONE_ID_STRIDE + 6)
+
+    def test_single_zone_seed_is_the_spec_seed(self):
+        # bit-identity depends on the degenerate spec not perturbing
+        # the seed the legacy constructor would have used
+        assert TopologySpec.single(8, seed=7).zone_seed(0) == 7
+        multi = TopologySpec.zoned(2, 6, seed=7)
+        assert multi.zone_seed(0) != multi.zone_seed(1)
+
+
+class TestBuildDispatch:
+    def test_single_builds_gpbft_deployment(self):
+        host = TopologySpec.single(6, 4, seed=1, start_reports=False).build()
+        assert isinstance(host, GPBFTDeployment)
+        assert sorted(host.nodes) == list(range(6))
+
+    def test_cluster_builds_pbft_cluster(self):
+        host = TopologySpec.cluster(n_replicas=4, n_clients=2).build()
+        assert isinstance(host, PBFTCluster)
+        assert len(host.replicas) == 4 and len(host.clients) == 2
+
+    def test_zoned_builds_hierarchical_deployment(self):
+        host = TopologySpec.zoned(2, 5, seed=1).build()
+        assert isinstance(host, HierarchicalDeployment)
+        assert len(host.zones) == 2
+        assert sorted(host.nodes) == \
+            list(range(5)) + list(range(ZONE_ID_STRIDE, ZONE_ID_STRIDE + 5))
+
+
+class TestDeprecationShims:
+    def _legacy_warnings(self, build):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            build()
+        return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+    def test_legacy_gpbft_constructor_warns_once(self):
+        config_mod._DEPRECATED_ONCE.discard("GPBFTDeployment")
+        build = lambda: GPBFTDeployment(n_nodes=5, n_endorsers=4,
+                                        start_reports=False)
+        first = self._legacy_warnings(build)
+        assert len(first) == 1 and "TopologySpec" in str(first[0].message)
+        assert self._legacy_warnings(build) == []
+
+    def test_legacy_pbft_constructor_warns_once(self):
+        config_mod._DEPRECATED_ONCE.discard("PBFTCluster")
+        build = lambda: PBFTCluster(n_replicas=4, n_clients=1)
+        first = self._legacy_warnings(build)
+        assert len(first) == 1 and "TopologySpec" in str(first[0].message)
+        assert self._legacy_warnings(build) == []
+
+    def test_spec_construction_does_not_warn(self):
+        warned = self._legacy_warnings(
+            lambda: TopologySpec.single(5, 4, start_reports=False).build())
+        assert warned == []
+
+
+class TestSingleZoneBitIdentity:
+    """TopologySpec.single(...).build() == legacy constructor, bit for bit."""
+
+    def _run(self, dep):
+        node_ids = sorted(dep.nodes)
+        for k, node_id in enumerate(node_ids):
+            node = dep.nodes[node_id]
+            tx = node.next_transaction(key=f"id{k}", value=str(k))
+            dep.sim.schedule_at(1.0 + k, node.submit_transaction, tx)
+        dep.run_for(60.0)
+        head = dep.nodes[dep.committee[0]]
+        chain = [head.ledger.block_at(h).digest().hex()
+                 for h in range(head.ledger.height + 1)]
+        return chain, sorted(dep.completed_latencies().items())
+
+    def test_chains_and_latencies_identical(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = GPBFTDeployment(n_nodes=8, n_endorsers=4,
+                                     config=GPBFTConfig(), region=REGION,
+                                     seed=5, start_reports=False)
+        spec_built = TopologySpec.single(8, 4, config=GPBFTConfig(),
+                                         region=REGION, seed=5,
+                                         start_reports=False).build()
+        assert self._run(legacy) == self._run(spec_built)
+
+
+class TestHierarchicalDeployment:
+    def test_two_zones_commit_an_inter_zone_tx(self):
+        spec = TopologySpec.zoned(2, 6, config=_monitored(), seed=1,
+                                  start_reports=False)
+        hier = spec.build()
+        tx_id = hier.submit_xzone(0, dst_zone=1)
+        hier.run_for(40.0)
+        assert hier.events.count(EV_XZONE_ORDERED) >= 1
+        assert tx_id in hier.committed_xzone(1)
+        assert hier.ledgers_consistent()
+        hier.monitors.check_final()  # zero violations on the clean run
+
+    def test_bypass_fault_trips_cross_shard_monitor(self):
+        spec = TopologySpec.zoned(2, 6, config=_monitored(), seed=1,
+                                  start_reports=False)
+        hier = spec.build(faults={0: XZoneBypassFaults()})
+        hier.submit_xzone(0, dst_zone=1)
+        with pytest.raises(InvariantViolation) as exc:
+            hier.run_for(40.0)
+        assert exc.value.monitor == "cross-shard-prefix"
+
+    def test_xzone_commit_events_name_both_zones(self):
+        spec = TopologySpec.zoned(2, 6, config=_monitored(), seed=2,
+                                  start_reports=False)
+        hier = spec.build()
+        hier.submit_xzone(ZONE_ID_STRIDE, dst_zone=0)  # zone 1 -> zone 0
+        hier.run_for(40.0)
+        events = [e for e in hier.events if e.kind == EV_XZONE_COMMITTED]
+        assert events and all(e.data["src_zone"] == 1 and e.data["zone"] == 0
+                              for e in events)

@@ -38,10 +38,20 @@ from repro.verify.replay import load_artifact, replay_artifact
 
 QUORUM_BUG = ((1, "quorum_undercount"),)
 
+#: Checkpoint-bypass bug planted in zone 0 of a hierarchical run: the
+#: gateway ships inter-zone envelopes straight to the destination,
+#: skipping the top-level committee (fault keys are zone indices).
+XZONE_BUG = ((0, "xzone_bypass"),)
+
 
 def _clean(seed=3, **kw):
     return Schedule(protocol="pbft", n=4, seed=seed, submissions=3,
                     horizon_s=60.0, **kw)
+
+
+def _zoned(seed=3, **kw):
+    return Schedule(protocol="gpbft", n=8, zones=2, seed=seed,
+                    submissions=4, horizon_s=60.0, **kw)
 
 
 class TestScheduleModel:
@@ -73,6 +83,29 @@ class TestScheduleModel:
             assert one == two
             assert generate_schedule(protocol, n, seed=12) != one
 
+    def test_zoned_schedule_json_roundtrip(self):
+        schedule = _zoned(faults=XZONE_BUG)
+        assert schedule.zones == 2
+        restored = Schedule.from_json(schedule.to_json())
+        assert restored == schedule
+        # legacy artifacts without a zones field stay loadable
+        legacy = dict(_clean().to_json())
+        legacy.pop("zones", None)
+        assert Schedule.from_json(legacy).zones == 1
+
+    def test_zoned_schedule_validation(self):
+        with pytest.raises(ConfigurationError):
+            Schedule(protocol="pbft", n=8, seed=0, zones=2)
+        with pytest.raises(ConfigurationError):
+            Schedule(protocol="gpbft", n=10, seed=0, zones=3)  # 10 % 3 != 0
+        with pytest.raises(ConfigurationError):
+            Schedule(protocol="gpbft", n=6, seed=0, zones=2)  # zones of 3
+
+    def test_generate_zoned_is_deterministic(self):
+        one = generate_schedule("gpbft", 8, seed=11, zones=2)
+        assert one == generate_schedule("gpbft", 8, seed=11, zones=2)
+        assert one.zones == 2
+
 
 class TestRunSchedule:
     def test_clean_schedule_passes_and_is_deterministic(self):
@@ -94,6 +127,19 @@ class TestRunSchedule:
         violation = outcome.result.violation
         assert violation["monitor"] == "quorum-certificate"
         assert violation["trace"], "violation must carry its trace window"
+
+    def test_clean_zoned_schedule_passes_and_is_deterministic(self):
+        first = run_schedule(_zoned()).result
+        second = run_schedule(_zoned()).result
+        assert first.ok and second.ok
+        assert first.fingerprint == second.fingerprint
+
+    def test_planted_bypass_trips_the_cross_shard_monitor(self):
+        outcome = run_schedule(_zoned(faults=XZONE_BUG))
+        assert not outcome.result.ok
+        violation = outcome.result.violation
+        assert violation["monitor"] == "cross-shard-prefix"
+        assert "never ordered" in violation["message"]
 
 
 class TestMonitorHarness:
@@ -163,6 +209,26 @@ class TestMutationSelfTest:
         assert len(report.artifacts) == len(report.failures)
         for path in report.artifacts:
             assert path.exists()
+
+    def test_explorer_finds_and_shrinks_the_planted_bypass(self, tmp_path):
+        report = explore(
+            protocol="gpbft", n=8, zones=2, seeds=range(2),
+            submissions=4, horizon_s=60.0, faults=XZONE_BUG,
+            engine=Engine(jobs=1, use_cache=False), out_dir=tmp_path,
+            shrink_budget=12,
+        )
+        assert not report.ok
+        assert report.failures, "planted checkpoint bypass escaped"
+        monitor = report.failures[0][1].violation["monitor"]
+        assert monitor == "cross-shard-prefix"
+        minimal = report.minimal
+        assert minimal is not None
+        assert minimal.zones == 2  # shrinking cannot flatten the topology
+        assert XZONE_BUG[0] in minimal.faults
+        # the minimal schedule must still reproduce the same violation
+        verdict = run_schedule(minimal).result
+        assert not verdict.ok
+        assert verdict.violation["monitor"] == "cross-shard-prefix"
 
     def test_minimal_schedule_still_trips_the_same_monitor(self, tmp_path):
         schedule = _clean(faults=QUORUM_BUG)

@@ -28,6 +28,8 @@ from repro.codec import (
     decode_reply,
     decode_request,
     decode_transaction,
+    decode_xzone_tx,
+    decode_zone_checkpoint,
     encode_block,
     encode_block_header,
     encode_checkpoint,
@@ -41,9 +43,15 @@ from repro.codec import (
     encode_transaction,
     encode_view_change,
     encode_prepared_proof,
+    encode_xzone_tx,
+    encode_zone_checkpoint,
 )
 from repro.common.errors import ReproError, ValidationError
-from repro.core.messages import EraSwitchOperation
+from repro.core.messages import (
+    EraSwitchOperation,
+    InterZoneTx,
+    ZoneCheckpointOperation,
+)
 from repro.crypto.hashing import sha256
 from repro.geo.coords import LatLng
 from repro.geo.reports import GeoReport
@@ -96,6 +104,10 @@ def _sample_frames():
                            [_tx(nonce=i) for i in range(2)])
     era_switch = EraSwitchOperation(new_era=2, committee=(0, 1, 2, 3),
                                     added=(3,), removed=(5,))
+    xzone = InterZoneTx(src_zone=0, dst_zone=1, tx=tx)
+    checkpoint_op = ZoneCheckpointOperation(
+        zone=0, seq=3, era=1, height=5, head=b"\x44" * 32,
+        txs=(xzone, InterZoneTx(src_zone=0, dst_zone=2, tx=_tx(nonce=11))))
     return {
         "geo_report": (
             encode_geo_report(GeoReport(node=7, position=LatLng(22.0, 114.0),
@@ -135,6 +147,11 @@ def _sample_frames():
         ),
         "block": (encode_block(block, SIG), decode_block),
         "era_switch": (encode_era_switch(era_switch), decode_era_switch),
+        "xzone_tx": (encode_xzone_tx(xzone, SIG), decode_xzone_tx),
+        "zone_checkpoint": (
+            encode_zone_checkpoint(checkpoint_op),
+            decode_zone_checkpoint,
+        ),
     }
 
 
@@ -252,6 +269,35 @@ class TestRoundTripProperties:
         data = encode_era_switch(op)
         assert len(data) == op.size_bytes
         assert decode_era_switch(data) == op
+
+    @given(src=st.integers(min_value=0, max_value=30),
+           dst=st.integers(min_value=0, max_value=30),
+           sender=small_u32s, nonce=small_u32s, sig=signatures)
+    @settings(max_examples=50)
+    def test_xzone_tx(self, src, dst, sender, nonce, sig):
+        if src == dst:
+            dst = src + 1
+        env = InterZoneTx(src_zone=src, dst_zone=dst,
+                          tx=_tx(sender=sender, nonce=nonce))
+        data = encode_xzone_tx(env, sig)
+        assert len(data) == env.size_bytes
+        decoded, decoded_sig = decode_xzone_tx(data)
+        assert decoded == env and decoded_sig == sig
+
+    @given(zone=st.integers(min_value=0, max_value=30), seq=small_u32s,
+           era=st.integers(min_value=0, max_value=200), height=small_u32s,
+           head=digests, n_txs=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=50)
+    def test_zone_checkpoint(self, zone, seq, era, height, head, n_txs):
+        txs = tuple(
+            InterZoneTx(src_zone=zone, dst_zone=zone + 1 + i, tx=_tx(nonce=i))
+            for i in range(n_txs)
+        )
+        op = ZoneCheckpointOperation(zone=zone, seq=seq, era=era,
+                                     height=height, head=head, txs=txs)
+        data = encode_zone_checkpoint(op)
+        assert len(data) == op.size_bytes
+        assert decode_zone_checkpoint(data) == op
 
     @given(sender=small_u32s, nonce=small_u32s,
            action=st.sampled_from(list(ConfigAction)),
