@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck bench bench-smoke bench-pytest sweep-smoke verify-smoke shard-smoke trace-smoke figures figures-paper charts examples clean
+.PHONY: install test lint typecheck bench bench-smoke bench-pytest sweep-smoke verify-smoke shard-smoke packs-smoke trace-smoke figures figures-paper charts examples clean
 
 install:
 	pip install -e ".[dev]"
@@ -57,6 +57,12 @@ shard-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments verify \
 		--protocol gpbft --n 8 --zones 2 --seeds 2 --submissions 4 \
 		--horizon 60 --out results/repro
+
+# the two cheapest adversarial scenario packs at quick scale
+# (docs/scenarios.md); exits non-zero iff an expected outcome is missed
+packs-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments packs \
+		regional_blackout flash_crowd
 
 # instrumented capture -> chrome trace + span dump, schema-validated,
 # phase-breakdown report printed (docs/observability.md)

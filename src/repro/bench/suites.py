@@ -195,6 +195,28 @@ def _e2e_hier_2zone_n64():
     return thunk
 
 
+def _e2e_hetero_n64():
+    """Heterogeneous 64-node fleet (8 infra endorsers, 16 gateways,
+    40 duty-cycled sensors) committing under per-node processing rates
+    and availability drivers."""
+    from repro.workloads.profiles import (
+        FleetMix, GATEWAY_CLASS, INFRA_CLASS, SENSOR_CLASS)
+
+    mix = FleetMix.of((INFRA_CLASS, 8), (GATEWAY_CLASS, 16),
+                      (SENSOR_CLASS, 40))
+
+    def thunk() -> float:
+        dep = TopologySpec.single(64, 8, seed=1, start_reports=False,
+                                  profiles=mix).build()
+        for node_id in (60, 61, 62, 63):
+            dep.submit_from(node_id)
+        dep.run(until=60.0)
+        if not dep.completed_latencies():
+            raise RuntimeError("heterogeneous fleet failed to commit")
+        return dep.sim.now
+    return thunk
+
+
 #: Suite definitions; importing the module registers them in order.
 SUITE = [
     Benchmark("codec.encode_prepare", _codec_encode_prepare, ops=2000),
@@ -210,6 +232,8 @@ SUITE = [
     Benchmark("e2e.pbft_traffic_n202", _e2e_pbft_n202, repeats=3,
               warmup=0, quick=False),
     Benchmark("e2e.hier_2zone_n64", _e2e_hier_2zone_n64, repeats=3,
+              warmup=0, quick=False),
+    Benchmark("e2e.hetero_n64", _e2e_hetero_n64, repeats=3,
               warmup=0, quick=False),
 ]
 

@@ -28,6 +28,7 @@ from repro.common.errors import ConfigurationError
 if TYPE_CHECKING:
     from repro.geo.coords import Region
     from repro.geo.zones import ZoneMap
+    from repro.workloads.profiles import FleetMix
 
 SECONDS_PER_HOUR = 3600.0
 
@@ -315,6 +316,10 @@ class ZoneSpec:
             stationary (eligible for election after the CSC threshold).
         id_base: first global node id of the zone; node ids are
             ``id_base .. id_base + n_nodes - 1``.
+        profiles: hardware composition of the zone's fleet
+            (:class:`repro.workloads.profiles.FleetMix`); ``None``
+            (default) keeps the uniform fleet, bit-identical to the
+            unprofiled simulation.
     """
 
     name: str
@@ -323,6 +328,7 @@ class ZoneSpec:
     region: "Region | None" = None
     fixed_fraction: float = 1.0
     id_base: int = 0
+    profiles: "FleetMix | None" = None
 
     def __post_init__(self) -> None:
         _require(bool(self.name), "zone name must be non-empty")
@@ -332,6 +338,8 @@ class ZoneSpec:
         _require(0.0 <= self.fixed_fraction <= 1.0,
                  "fixed_fraction must lie in [0, 1]")
         _require(self.id_base >= 0, "id_base must be >= 0")
+        if self.profiles is not None:
+            self.profiles.validate_for(self.n_nodes)
 
 
 @dataclass(frozen=True, slots=True)
@@ -367,6 +375,7 @@ class TopologySpec:
     n_clients: int = 1
     checkpoint_interval_s: float = 2.0
     top_committee_size: int | None = None
+    profiles: "FleetMix | None" = None
 
     def __post_init__(self) -> None:
         _require(self.protocol in ("pbft", "gpbft"),
@@ -381,7 +390,11 @@ class TopologySpec:
             _require(not self.zones, "pbft topologies take no zones")
             _require(self.n_replicas >= 1, "n_replicas must be >= 1")
             _require(self.n_clients >= 1, "n_clients must be >= 1")
+            if self.profiles is not None:
+                self.profiles.validate_for(self.n_replicas)
             return
+        _require(self.profiles is None,
+                 "gpbft topologies carry profiles per zone (ZoneSpec.profiles)")
         _require(len(self.zones) >= 1, "gpbft topologies need >= 1 zone")
         names = [zone.name for zone in self.zones]
         _require(len(set(names)) == len(names), "zone names must be unique")
@@ -405,7 +418,8 @@ class TopologySpec:
                seed: int = 0, start_reports: bool = True,
                block_interval_s: float = 5.0,
                sybil_protection: bool = False,
-               witness_range_m: float = 150.0) -> "TopologySpec":
+               witness_range_m: float = 150.0,
+               profiles: "FleetMix | None" = None) -> "TopologySpec":
         """The paper's one-committee deployment as a degenerate topology.
 
         ``TopologySpec.single(...).build()`` is bit-identical (same RNG
@@ -413,7 +427,8 @@ class TopologySpec:
         ``GPBFTDeployment`` keyword constructor with the same values.
         """
         zone = ZoneSpec(name="z0", n_nodes=n_nodes, n_endorsers=n_endorsers,
-                        region=region, fixed_fraction=fixed_fraction)
+                        region=region, fixed_fraction=fixed_fraction,
+                        profiles=profiles)
         return cls(protocol="gpbft", zones=(zone,), seed=seed, config=config,
                    mode=mode, start_reports=start_reports,
                    block_interval_s=block_interval_s,
@@ -422,10 +437,11 @@ class TopologySpec:
 
     @classmethod
     def cluster(cls, n_replicas: int = 4, n_clients: int = 1, *,
-                config: GPBFTConfig | None = None) -> "TopologySpec":
+                config: GPBFTConfig | None = None,
+                profiles: "FleetMix | None" = None) -> "TopologySpec":
         """A flat PBFT replica cluster (no geography, no zones)."""
         return cls(protocol="pbft", zones=(), n_replicas=n_replicas,
-                   n_clients=n_clients, config=config)
+                   n_clients=n_clients, config=config, profiles=profiles)
 
     @classmethod
     def zoned(cls, n_zones: int, nodes_per_zone: int, *,
@@ -435,13 +451,15 @@ class TopologySpec:
               mode: str = "per_tx", fixed_fraction: float = 1.0,
               start_reports: bool = True,
               checkpoint_interval_s: float = 2.0,
-              top_committee_size: int | None = None) -> "TopologySpec":
+              top_committee_size: int | None = None,
+              profiles: "FleetMix | None" = None) -> "TopologySpec":
         """A hierarchical topology: *n_zones* equal cells in a row.
 
         The deployment area (default: a strip around the paper's Hong
         Kong site sized to the zone count) is split into a ``1 x
         n_zones`` grid; zone *i* gets node ids starting at
-        ``i * ZONE_ID_STRIDE``.
+        ``i * ZONE_ID_STRIDE``.  A *profiles* mix is replicated into
+        every zone.
         """
         _require(n_zones >= 2, "zoned topologies need >= 2 zones")
         from repro.geo.coords import LatLng, Region
@@ -454,7 +472,8 @@ class TopologySpec:
             ZoneSpec(name=cell.name, n_nodes=nodes_per_zone,
                      n_endorsers=endorsers_per_zone, region=cell.region,
                      fixed_fraction=fixed_fraction,
-                     id_base=cell.index * ZONE_ID_STRIDE)
+                     id_base=cell.index * ZONE_ID_STRIDE,
+                     profiles=profiles)
             for cell in grid
         )
         return cls(protocol="gpbft", zones=zones, seed=seed, config=config,

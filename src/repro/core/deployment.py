@@ -83,9 +83,11 @@ class GPBFTDeployment:
         obs: "Observability | None" = None,
     ) -> None:
         id_base = 0
+        profiles = None
         if isinstance(n_nodes, TopologySpec):
             self.spec = n_nodes
             zone = self.spec.deployment_zone()
+            profiles = zone.profiles
             n_nodes = zone.n_nodes
             n_endorsers = zone.n_endorsers
             config = self.spec.config
@@ -157,6 +159,14 @@ class GPBFTDeployment:
         # indexed directory: nodes route and witness via spatial queries
         self.directory: IndexedDirectory = IndexedDirectory(self.positions)
         self.nodes: dict[int, GPBFTNode] = {}
+        # heterogeneous hardware profiles (empty map = uniform fleet;
+        # the wiring below is then a structural no-op, keeping the
+        # unprofiled path bit-identical)
+        self.profiles = profiles
+        self.profile_map: dict[int, object] = (
+            profiles.assign(range(id_base, id_base + n_nodes))
+            if profiles is not None else {})
+        self.availability: list = []
         for node_id in range(id_base, id_base + n_nodes):
             fixed = node_id in endorser_ids or placement.random() < fixed_fraction
             node = GPBFTNode(
@@ -174,12 +184,15 @@ class GPBFTDeployment:
                 block_interval_s=block_interval_s,
                 faults=(faults or {}).get(node_id),
                 obs=obs,
+                profile=self.profile_map.get(node_id),
             )
             node._chain_sync_hook = self._chain_sync
             self.nodes[node_id] = node
             self.network.register(node_id, node.on_envelope)
             if start_reports:
                 node.start_reporting()
+        if self.profile_map:
+            self._apply_profiles()
 
         # -- Sybil defence -----------------------------------------------------
         self.sybil_protection = sybil_protection
@@ -206,6 +219,33 @@ class GPBFTDeployment:
         self._next_node_id = id_base + n_nodes
 
     # ------------------------------------------------------------------
+
+    def _apply_profiles(self) -> None:
+        """Wire per-node hardware profiles into the network and clock.
+
+        CPU class becomes a per-node processing-interval override on
+        the network; battery duty cycles become availability drivers
+        toggling the node offline/online on their window boundaries.
+        Phases are drawn from stateless RNG forks, so an unprofiled
+        node's streams are untouched.
+        """
+        # imported lazily: repro.workloads imports this module at
+        # package-init time, so a module-scope import would cycle
+        from repro.workloads.profiles import AvailabilityDriver
+
+        base_rate = self.config.network.processing_rate
+        for node_id in sorted(self.profile_map):
+            profile = self.profile_map[node_id]
+            if profile.cpu_scale != 1.0:  # gpb: allow GPB004 -- 1.0 is the exact uniform sentinel, never the result of arithmetic
+                self.network.set_processing_interval(
+                    node_id, profile.processing_interval_s(base_rate))
+            if profile.duty_fraction < 1.0:
+                phase = self.rng.fork(f"duty/{node_id}").uniform(
+                    0.0, profile.duty_period_s)
+                cycle = profile.duty_cycle(phase_s=phase)
+                driver = AvailabilityDriver(self.network, node_id, cycle)
+                driver.start()
+                self.availability.append(driver)
 
     @property
     def committee(self) -> tuple[int, ...]:

@@ -71,6 +71,7 @@ from repro.pbft.replica import PBFTReplica
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.network import SimulatedNetwork
     from repro.obs.core import Observability
+    from repro.workloads.profiles import DeviceProfile
 
 
 class GPBFTNode:
@@ -94,6 +95,10 @@ class GPBFTNode:
             (timer-weighted producers batch the mempool into blocks).
         block_interval_s: producer cadence in block mode.
         faults: fault model applied to this node's replica.
+        profile: optional hardware profile
+            (:class:`repro.workloads.profiles.DeviceProfile`); its
+            memory caps bound this node's mempool and pre-activation
+            consensus buffer.  ``None`` keeps the uniform defaults.
     """
 
     def __init__(
@@ -112,6 +117,7 @@ class GPBFTNode:
         block_interval_s: float = 5.0,
         faults: FaultModel | None = None,
         obs: "Observability | None" = None,
+        profile: "DeviceProfile | None" = None,
     ) -> None:
         if mode not in ("per_tx", "block"):
             raise ConsensusError(f"unknown ordering mode {mode!r}")
@@ -129,10 +135,16 @@ class GPBFTNode:
         self.block_interval_s = block_interval_s
         self.faults = faults or HonestFaults()
         self.obs = obs
+        self.profile = profile
+        # hardware memory caps (heterogeneous fleets); None = uniform
+        mempool_capacity = None if profile is None else profile.mempool_capacity
+        log_bound = None if profile is None else profile.log_bound
+        self._preactivation_cap = 512 if log_bound is None else log_bound
 
         # -- chain + protocol state ----------------------------------------
         self.ledger = Ledger(genesis)
-        self.mempool = Mempool()
+        self.mempool = (Mempool() if mempool_capacity is None
+                        else Mempool(capacity=mempool_capacity))
         self.election_table = ElectionTable(self.config.election)
         self.committee = genesis.endorser_ids
         self.committee_manager = CommitteeManager(self.committee, genesis.policy)
@@ -244,7 +256,7 @@ class GPBFTNode:
                 # not (yet) an active endorser: keep a bounded window of
                 # consensus traffic in case a CommitteeInfo is in flight
                 self._preactivation_buffer.append(payload)
-                if len(self._preactivation_buffer) > 512:
+                if len(self._preactivation_buffer) > self._preactivation_cap:
                     self._preactivation_buffer.pop(0)
 
     # ------------------------------------------------------------------

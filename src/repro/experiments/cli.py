@@ -178,8 +178,10 @@ def main(argv: list[str] | None = None) -> int:
     """Run the selected experiment(s); returns a process exit code.
 
     The ``verify`` subcommand (schedule exploration / artifact replay)
-    is routed to :func:`repro.verify.cli.main` before experiment
-    parsing -- see ``gpbft-experiments verify --help``.
+    is routed to :func:`repro.verify.cli.main` and the ``packs``
+    subcommand (adversarial scenario packs) to
+    :func:`repro.workloads.packs.main` before experiment parsing --
+    see ``gpbft-experiments verify --help`` / ``... packs --help``.
     """
     if argv is None:
         argv = sys.argv[1:]
@@ -187,6 +189,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.verify.cli import main as verify_main
 
         return verify_main(argv[1:])
+    if argv and argv[0] == "packs":
+        from repro.workloads.packs import main as packs_main
+
+        return packs_main(argv[1:])
     args = build_parser().parse_args(argv)
     profile = PAPER if args.profile == "paper" else QUICK
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -33,7 +33,7 @@ from repro.common.errors import ConfigurationError
 DEFAULT_CACHE_DIR = Path("results") / "cache"
 
 #: Point kinds understood by :func:`run_point`.
-POINT_KINDS = ("latency", "traffic", "tps", "era-churn", "verify")
+POINT_KINDS = ("latency", "traffic", "tps", "era-churn", "verify", "pack")
 
 #: Protocols understood by :func:`run_point` (era-churn is G-PBFT only).
 PROTOCOLS = ("pbft", "gpbft")
@@ -128,6 +128,7 @@ def run_point(spec: PointSpec) -> float | list[float] | dict:
     # imported lazily: runner/extensions/verify import this module for Engine
     from repro.experiments import extensions, runner
     from repro.verify import explorer as verify_explorer
+    from repro.workloads import packs as workload_packs
 
     n, kwargs = int(spec.x), spec.kwargs()
     dispatch = {
@@ -148,6 +149,8 @@ def run_point(spec: PointSpec) -> float | list[float] | dict:
         ("pbft", "verify"): lambda: verify_explorer._verify_point(
             n, spec.seed, **kwargs),
         ("gpbft", "verify"): lambda: verify_explorer._verify_point(
+            n, spec.seed, **kwargs),
+        ("gpbft", "pack"): lambda: workload_packs._pack_point(
             n, spec.seed, **kwargs),
     }
     try:

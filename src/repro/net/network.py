@@ -86,6 +86,10 @@ class SimulatedNetwork:
         self._offline: set[int] = set()
         self._partition: dict[int, int] = {}
         self._processing_interval = 1.0 / self.config.processing_rate
+        # per-node processing-interval overrides (heterogeneous device
+        # profiles); empty for uniform fleets, so the hot path below
+        # falls through to the scalar with identical float arithmetic
+        self._node_interval: dict[int, float] = {}
         # NetworkConfig is frozen, so the per-send scalars can be read
         # once instead of through two attribute hops per message
         self._overhead_bytes = self.config.envelope_overhead_bytes
@@ -130,6 +134,7 @@ class SimulatedNetwork:
         self._busy_until.pop(node_id, None)
         self._offline.discard(node_id)
         self._partition.pop(node_id, None)
+        self._node_interval.pop(node_id, None)
 
     def is_registered(self, node_id: int) -> bool:
         """True iff *node_id* currently has a handler attached."""
@@ -139,6 +144,26 @@ class SimulatedNetwork:
     def node_ids(self) -> list[int]:
         """Sorted ids of all registered nodes."""
         return sorted(self._handlers)
+
+    def set_processing_interval(self, node_id: int, interval_s: float) -> None:
+        """Override the per-message processing time of one node.
+
+        Heterogeneous device profiles use this to model CPU class: a
+        constrained board takes ``interval_s`` seconds per received
+        message instead of the uniform ``1 / processing_rate``.
+
+        Raises:
+            NetworkError: on an unknown node or non-positive interval.
+        """
+        if node_id not in self._handlers:
+            raise NetworkError(f"unknown node {node_id}")
+        if interval_s <= 0:
+            raise NetworkError("processing interval must be positive")
+        self._node_interval[node_id] = interval_s
+
+    def processing_interval(self, node_id: int) -> float:
+        """Effective per-message processing time of *node_id*."""
+        return self._node_interval.get(node_id, self._processing_interval)
 
     # -- fault injection ----------------------------------------------------
 
@@ -241,7 +266,11 @@ class SimulatedNetwork:
         start = self._busy_until.get(dst, 0.0)
         if start < now:
             start = now
-        done = start + self._processing_interval
+        overrides = self._node_interval
+        if overrides:
+            done = start + overrides.get(dst, self._processing_interval)
+        else:
+            done = start + self._processing_interval
         self._busy_until[dst] = done
         queue = self._proc_queue.get(dst)
         if queue:

@@ -13,7 +13,13 @@ scenes into reproducible simulation inputs:
   (constant-rate per node, Poisson) used by the latency experiments;
 * :mod:`repro.workloads.scenarios` -- packaged end-to-end scenes
   (smart-city car monitoring, parking-lot payments, RFID asset
-  tracking).
+  tracking);
+* :mod:`repro.workloads.profiles` -- heterogeneous device classes
+  (sensor / gateway / infrastructure tiers) with CPU, memory, and
+  duty-cycle constraints, plus fleet mixes and availability drivers;
+* :mod:`repro.workloads.packs` -- adversarial scenario packs with
+  machine-checked expected outcomes (regional blackout, flash crowd,
+  Sybil drip, endorser churn storm).
 """
 
 from repro.workloads.fleet import FleetSpec, grid_positions, scatter_positions
@@ -25,8 +31,40 @@ from repro.workloads.scenarios import (
     asset_tracking_scenario,
     Scenario,
 )
+from repro.workloads.profiles import (
+    AvailabilityDriver,
+    DeviceProfile,
+    DutyCycle,
+    FleetMix,
+    GATEWAY_CLASS,
+    INFRA_CLASS,
+    PROFILE_TIERS,
+    SENSOR_CLASS,
+    schedule_blackout,
+)
+from repro.workloads.packs import (
+    ExpectedOutcome,
+    PackResult,
+    PACKS,
+    ScenarioPack,
+    run_pack,
+)
 
 __all__ = [
+    "AvailabilityDriver",
+    "DeviceProfile",
+    "DutyCycle",
+    "FleetMix",
+    "GATEWAY_CLASS",
+    "INFRA_CLASS",
+    "PROFILE_TIERS",
+    "SENSOR_CLASS",
+    "schedule_blackout",
+    "ExpectedOutcome",
+    "PackResult",
+    "PACKS",
+    "ScenarioPack",
+    "run_pack",
     "FleetSpec",
     "grid_positions",
     "scatter_positions",

@@ -251,3 +251,58 @@ class TestMempool:
     def test_invalid_capacity(self):
         with pytest.raises(ValidationError):
             Mempool(capacity=0)
+
+
+class TestMempoolOverflowPolicies:
+    def test_reject_new_keeps_residents(self):
+        pool = Mempool(capacity=2, policy="reject-new")
+        assert pool.add(tx(nonce=0)) and pool.add(tx(nonce=1))
+        assert pool.add(tx(nonce=2)) is False
+        assert pool.rejected == 1 and pool.evicted == 0
+        assert [t.nonce for t in pool.peek_batch(10)] == [0, 1]
+
+    def test_evict_oldest_counts_both_ways(self):
+        pool = Mempool(capacity=2, policy="evict-oldest")
+        for i in range(4):
+            assert pool.add(tx(nonce=i)) is True
+        assert pool.evicted == 2 and pool.rejected == 0
+        assert [t.nonce for t in pool.peek_batch(10)] == [2, 3]
+
+    def test_evict_lowest_fee_prefers_paying_newcomer(self):
+        pool = Mempool(capacity=2, policy="evict-lowest-fee")
+        pool.add(tx(nonce=0, fee=5.0))
+        pool.add(tx(nonce=1, fee=1.0))
+        assert pool.add(tx(nonce=2, fee=3.0)) is True  # evicts fee=1.0
+        assert pool.evicted == 1
+        assert sorted(t.fee for t in pool.peek_batch(10)) == [3.0, 5.0]
+        # a newcomer cheaper than every resident is refused instead
+        assert pool.add(tx(nonce=3, fee=0.5)) is False
+        assert pool.rejected == 1
+
+    def test_evict_lowest_fee_tie_break_is_deterministic(self):
+        """Equal fees break on tx_id, independent of arrival order."""
+        a, b, c = (tx(nonce=i, fee=2.0) for i in range(3))
+        survivors = []
+        for first, second in ((a, b), (b, a)):
+            pool = Mempool(capacity=2, policy="evict-lowest-fee")
+            pool.add(first)
+            pool.add(second)
+            pool.add(c)
+            survivors.append(sorted(t.tx_id for t in pool.peek_batch(10)))
+        assert survivors[0] == survivors[1]
+        # the incoming tx only displaces a victim it strictly outranks
+        pool = Mempool(capacity=1, policy="evict-lowest-fee")
+        pool.add(a)
+        assert pool.add(tx(nonce=0, fee=2.0)) is False  # identical == dup
+
+    def test_cap_boundary_never_exceeded(self):
+        for policy in ("evict-oldest", "reject-new", "evict-lowest-fee"):
+            pool = Mempool(capacity=3, policy=policy)
+            for i in range(10):
+                pool.add(tx(nonce=i, fee=float(i)))
+            assert len(pool) == 3, policy
+            assert pool.evicted + pool.rejected == 7, policy
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValidationError):
+            Mempool(policy="drop-random")

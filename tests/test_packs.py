@@ -1,0 +1,107 @@
+"""Scenario packs run green as tier-1 regression tests."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.engine import Engine, PointSpec
+from repro.workloads.packs import (
+    ExpectedOutcome,
+    PACKS,
+    SMOKE_PACKS,
+    _pack_point,
+    run_pack,
+)
+
+
+@pytest.fixture()
+def engine(tmp_path):
+    return Engine(jobs=1, cache_dir=tmp_path / "cache")
+
+
+class TestExpectedOutcome:
+    def test_clean_measurement_passes(self):
+        outcome = ExpectedOutcome(min_commit_rate=0.5, max_era_switches=2,
+                                  require_positive=("hits",),
+                                  require_zero=("breaches",))
+        assert outcome.check({"commit_rate": 0.9, "era_switches": 1,
+                              "hits": 3, "breaches": 0,
+                              "violation": None}) == []
+
+    def test_each_bound_is_enforced(self):
+        outcome = ExpectedOutcome(min_commit_rate=0.5, min_era_switches=1,
+                                  max_era_switches=2,
+                                  require_positive=("hits",),
+                                  require_zero=("breaches",))
+        failures = outcome.check({"commit_rate": 0.2, "era_switches": 5,
+                                  "hits": 0, "breaches": 7,
+                                  "violation": "prefix-consistency"})
+        assert len(failures) == 5
+        with pytest.raises(AssertionError):
+            outcome.assert_ok({"commit_rate": 0.2})
+
+    def test_expected_violation_must_match(self):
+        outcome = ExpectedOutcome(expect_violation="sybil-cap")
+        assert outcome.check({"violation": "sybil-cap"}) == []
+        assert outcome.check({"violation": None})
+        assert outcome.check({"violation": "prefix-consistency"})
+
+
+class TestPackPlumbing:
+    def test_unknown_pack_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _pack_point(16, 0, pack="nonesuch")
+
+    def test_points_are_engine_specs(self):
+        pack = PACKS["regional_blackout"]
+        quick = pack.points("quick")
+        full = pack.points("full")
+        assert [spec.seed for spec in quick] == [pack.seeds[0]]
+        assert [spec.seed for spec in full] == list(pack.seeds)
+        assert all(spec.kind == "pack" for spec in quick + full)
+        assert quick[0].x == pack.n and full[0].x == pack.full_n
+        with pytest.raises(ConfigurationError):
+            pack.points("huge")
+
+    def test_pack_points_hit_the_cache(self, engine):
+        spec = PointSpec.make("gpbft", "pack", 16, 0,
+                              pack="regional_blackout")
+        first = engine.run(spec)
+        again = engine.run(spec)
+        assert first == again
+        assert engine.telemetry.cache_hits == 1
+
+    def test_smoke_subset_is_registered(self):
+        assert set(SMOKE_PACKS) <= set(PACKS)
+        assert len(SMOKE_PACKS) == 2
+
+
+@pytest.mark.parametrize("name", sorted(PACKS))
+def test_pack_meets_expected_outcome(name, engine):
+    result = run_pack(PACKS[name], engine=engine, scale="quick")
+    assert result.ok, "\n".join(result.failures)
+    assert result.measured  # at least one point ran
+
+
+def test_sybil_pack_is_not_vacuous(engine):
+    """The drip campaign must demonstrably attack and be repelled."""
+    result = run_pack(PACKS["sybil_drip"], engine=engine, scale="quick")
+    assert result.ok, "\n".join(result.failures)
+    (measured,) = result.measured
+    # the attacker really joined, reports were really rejected, and the
+    # identical campaign without protection really took committee seats
+    assert measured["sybil_identities"] > 0
+    assert measured["sybil_reports_rejected"] > 0
+    assert measured["control_sybil_seats"] > 0
+    assert measured["sybil_committee_seats"] == 0
+
+
+def test_packs_cli_runs_green(tmp_path, capsys):
+    from repro.workloads.packs import main
+
+    assert main(["regional_blackout", "--cache-dir",
+                 str(tmp_path / "cache")]) == 0
+    out = capsys.readouterr().out
+    assert "[PASS] regional_blackout" in out
+
+    assert main(["--list"]) == 0
+    assert "sybil_drip" in capsys.readouterr().out

@@ -1,0 +1,217 @@
+"""Device-profile layer: duty-cycle properties, fleet mixes, determinism."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import TopologySpec
+from repro.common.errors import ConfigurationError
+from repro.workloads.profiles import (
+    DeviceProfile,
+    DutyCycle,
+    FleetMix,
+    GATEWAY_CLASS,
+    INFRA_CLASS,
+    PROFILE_TIERS,
+    SENSOR_CLASS,
+)
+
+# strategies -----------------------------------------------------------------
+
+fraction_strategy = st.floats(min_value=0.05, max_value=0.95)
+period_strategy = st.floats(min_value=2.0, max_value=86_400.0)
+horizon_strategy = st.floats(min_value=0.0, max_value=20_000.0)
+
+
+@st.composite
+def duty_cycles(draw):
+    fraction = draw(fraction_strategy)
+    period = draw(period_strategy)
+    phase = draw(st.floats(min_value=0.0, max_value=period * 0.999))
+    return DutyCycle(fraction, period, phase)
+
+
+class TestDutyCycleProperties:
+    @settings(deadline=None)
+    @given(cycle=duty_cycles(), horizon=horizon_strategy)
+    def test_windows_sorted_disjoint_and_clipped(self, cycle, horizon):
+        windows = cycle.windows(horizon)
+        for lo, hi in windows:
+            assert 0.0 <= lo < hi <= horizon
+        for (_, prev_hi), (next_lo, _) in zip(windows, windows[1:]):
+            assert prev_hi < next_lo  # never overlapping, never touching
+
+    @settings(deadline=None)
+    @given(cycle=duty_cycles(), horizon=horizon_strategy)
+    def test_duty_fraction_respected_over_any_horizon(self, cycle, horizon):
+        # awake time can deviate from fraction*horizon by at most one
+        # partial on-window at each end of the horizon
+        awake = cycle.on_time(horizon)
+        assert awake <= horizon + 1e-6
+        assert abs(awake - cycle.fraction * horizon) <= cycle.on_len_s + 1e-6
+
+    @settings(deadline=None)
+    @given(cycle=duty_cycles(), horizon=st.floats(min_value=10.0, max_value=20_000.0),
+           u=st.floats(min_value=0.0, max_value=0.999))
+    def test_is_on_matches_windows(self, cycle, horizon, u):
+        t = u * horizon  # strictly inside [0, horizon)
+        inside = any(lo <= t < hi for lo, hi in cycle.windows(horizon))
+        # exclude float edges: window endpoints themselves may round
+        near_edge = any(
+            min(abs(t - lo), abs(t - hi)) < 1e-6 * max(1.0, cycle.period_s)
+            for lo, hi in cycle.windows(horizon)
+        )
+        if not near_edge:
+            assert cycle.is_on(t) == inside
+
+    @given(cycle=duty_cycles(), t=st.floats(min_value=0.0, max_value=500_000.0))
+    def test_next_boundary_strictly_advances(self, cycle, t):
+        boundary = cycle.next_boundary(t)
+        assert boundary > t
+        assert boundary - t <= cycle.period_s + 1e-6
+
+    @given(cycle=duty_cycles(), t=st.floats(min_value=0.0, max_value=500_000.0))
+    def test_state_flips_across_boundary(self, cycle, t):
+        boundary = cycle.next_boundary(t)
+        eps = min(1e-3, (boundary - t) / 2, cycle.on_len_s / 2,
+                  (cycle.period_s - cycle.on_len_s) / 2)
+        if eps <= 0 or boundary - t <= 2 * eps:
+            return  # degenerate float spacing; nothing to check
+        assert cycle.is_on(boundary - eps) != cycle.is_on(boundary + eps)
+
+    def test_always_on_cycle_has_no_boundaries(self):
+        cycle = DutyCycle(1.0, 60.0)
+        assert cycle.is_on(12.0)
+        assert cycle.windows(100.0) == [(0.0, 100.0)]
+        with pytest.raises(ConfigurationError):
+            cycle.next_boundary(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DutyCycle(0.0, 60.0)
+        with pytest.raises(ConfigurationError):
+            DutyCycle(1.5, 60.0)
+        with pytest.raises(ConfigurationError):
+            DutyCycle(0.5, 0.0)
+        with pytest.raises(ConfigurationError):
+            DutyCycle(0.5, 60.0, phase_s=60.0)
+
+
+class TestDeviceProfile:
+    def test_tier_registry_is_consistent(self):
+        assert PROFILE_TIERS == {
+            "sensor": SENSOR_CLASS, "gateway": GATEWAY_CLASS,
+            "infra": INFRA_CLASS,
+        }
+        assert INFRA_CLASS.is_uniform
+        assert not SENSOR_CLASS.is_uniform
+        assert not GATEWAY_CLASS.is_uniform
+
+    @given(rate=st.floats(min_value=0.1, max_value=1e6),
+           scale=st.floats(min_value=0.01, max_value=64.0))
+    def test_processing_interval_inverts_scaled_rate(self, rate, scale):
+        profile = DeviceProfile("x", cpu_scale=scale)
+        interval = profile.processing_interval_s(rate)
+        assert math.isclose(interval * rate * scale, 1.0, rel_tol=1e-9)
+
+    def test_duty_cycle_none_for_always_on(self):
+        assert INFRA_CLASS.duty_cycle() is None
+        cycle = SENSOR_CLASS.duty_cycle(phase_s=120.0)
+        assert cycle == DutyCycle(0.9, 3600.0, 120.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeviceProfile("")
+        with pytest.raises(ConfigurationError):
+            DeviceProfile("x", cpu_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            DeviceProfile("x", cpu_scale=100.0)
+        with pytest.raises(ConfigurationError):
+            DeviceProfile("x", duty_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            DeviceProfile("x", mempool_capacity=0)
+
+
+class TestFleetMix:
+    def test_assignment_follows_tier_then_remainder(self):
+        mix = FleetMix.of((SENSOR_CLASS, 2), (GATEWAY_CLASS, 1))
+        assigned = mix.assign([10, 3, 7, 42])
+        assert assigned == {
+            3: SENSOR_CLASS, 7: SENSOR_CLASS,
+            10: GATEWAY_CLASS, 42: INFRA_CLASS,
+        }
+
+    def test_validate_for_rejects_overflow(self):
+        mix = FleetMix.of((SENSOR_CLASS, 5))
+        mix.validate_for(5)
+        with pytest.raises(ConfigurationError):
+            mix.validate_for(4)
+
+    def test_uniformity(self):
+        assert FleetMix.of((INFRA_CLASS, 4)).is_uniform
+        assert not FleetMix.of((SENSOR_CLASS, 1)).is_uniform
+        with pytest.raises(ConfigurationError):
+            FleetMix.of((SENSOR_CLASS, 0))
+
+    @given(counts=st.lists(st.integers(min_value=1, max_value=5),
+                           min_size=1, max_size=3),
+           extra=st.integers(min_value=0, max_value=4))
+    def test_assign_is_total_and_ordered(self, counts, extra):
+        tiers = [(PROFILE_TIERS[name], count) for name, count in
+                 zip(("sensor", "gateway", "infra"), counts)]
+        mix = FleetMix.of(*tiers)
+        ids = list(range(mix.total + extra))
+        assigned = mix.assign(ids)
+        assert sorted(assigned) == ids
+        cursor = 0
+        for profile, count in tiers:
+            assert all(assigned[i] is profile
+                       for i in ids[cursor:cursor + count])
+            cursor += count
+        assert all(assigned[i] is INFRA_CLASS for i in ids[cursor:])
+
+
+class TestDeterminism:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_profile_delays_and_phases_deterministic_for_seed(self, seed):
+        mix = FleetMix.of((SENSOR_CLASS, 4), (GATEWAY_CLASS, 4))
+        spec = TopologySpec.single(12, 4, seed=seed, start_reports=False,
+                                   profiles=mix)
+        fingerprints = []
+        for _ in range(2):
+            dep = spec.build()
+            fingerprints.append((
+                tuple(sorted(
+                    (node_id, dep.network.processing_interval(node_id))
+                    for node_id in dep.nodes)),
+                tuple((driver.node_id, driver.cycle)
+                      for driver in dep.availability),
+            ))
+        assert fingerprints[0] == fingerprints[1]
+        assert len(fingerprints[0][1]) == 4  # one driver per sensor
+
+    def test_different_seeds_give_different_duty_phases(self):
+        mix = FleetMix.of((SENSOR_CLASS, 4))
+
+        def phases(seed):
+            dep = TopologySpec.single(8, 4, seed=seed, start_reports=False,
+                                      profiles=mix).build()
+            return [driver.cycle.phase_s for driver in dep.availability]
+
+        assert phases(0) != phases(1)
+
+    def test_uniform_mix_is_bit_identical_to_no_profiles(self):
+        def commit_times(profiles):
+            dep = TopologySpec.single(8, 4, seed=3, start_reports=False,
+                                      profiles=profiles).build()
+            for node_id in (6, 7):
+                dep.submit_from(node_id)
+            dep.run(until=60.0)
+            return sorted(dep.completed_latencies().items())
+
+        baseline = commit_times(None)
+        uniform = commit_times(FleetMix.of((INFRA_CLASS, 8)))
+        assert baseline == uniform
+        assert baseline  # the scenario actually commits something

@@ -195,3 +195,117 @@ class TestScenarios:
             parking_lot_scenario(n_machines=2)
         with pytest.raises(ConfigurationError):
             asset_tracking_scenario(n_readers=3)
+
+
+class TestArrivalEdgeCases:
+    def test_zero_limit_never_submits(self):
+        sim = Simulator()
+        fired = []
+        arrivals = ConstantRateArrivals(sim, lambda: fired.append(1),
+                                        DeterministicRNG(10), period_s=1.0)
+        arrivals.start(limit=0, phase=0.0)
+        sim.run(until=100.0)
+        assert fired == []
+        assert arrivals.submitted == 0
+
+    def test_stop_before_first_fire(self):
+        sim = Simulator()
+        fired = []
+        arrivals = PoissonArrivals(sim, lambda: fired.append(1),
+                                   DeterministicRNG(11), mean_period_s=5.0)
+        arrivals.start(phase=3.0)
+        arrivals.stop()
+        sim.run(until=100.0)
+        assert fired == []
+
+    def test_extreme_poisson_rates(self):
+        # a near-saturating rate still terminates and fires a lot ...
+        sim = Simulator()
+        fast: list[int] = []
+        PoissonArrivals(sim, lambda: fast.append(1), DeterministicRNG(12),
+                        mean_period_s=1e-3).start(phase=0.0)
+        sim.run(until=1.0)
+        assert 500 < len(fast) < 2000
+        # ... while a glacial rate fires nothing within the horizon
+        sim2 = Simulator()
+        slow: list[int] = []
+        PoissonArrivals(sim2, lambda: slow.append(1), DeterministicRNG(12),
+                        mean_period_s=1e9).start(phase=1e9)
+        sim2.run(until=1000.0)
+        assert slow == []
+
+    def test_colocated_streams_are_independent(self):
+        """Adding a second arrival process never perturbs the first."""
+        def run(with_second):
+            sim = Simulator()
+            root = DeterministicRNG(13, "arrivals")
+            times: list[float] = []
+            PoissonArrivals(sim, lambda: times.append(sim.now),
+                            root.fork("a"), mean_period_s=7.0).start()
+            if with_second:
+                PoissonArrivals(sim, lambda: None,
+                                root.fork("b"), mean_period_s=3.0).start()
+            sim.run(until=500.0)
+            return times
+
+        assert run(False) == run(True)
+
+
+class TestMobilityEdgeCases:
+    def test_degenerate_region_pins_the_walker(self):
+        region = Region.around(HK, 0.01)
+        model = RandomWaypointModel(region, speed_min_mps=1.0,
+                                    speed_max_mps=2.0, pause_s=0.0)
+        rng = DeterministicRNG(14)
+        pos = region.center
+        for _ in range(50):
+            pos = model.step(pos, 10.0, rng)
+            assert region.contains(pos)
+            assert pos.distance_to(region.center) < 0.1
+
+    def test_single_waypoint_reached_then_pauses(self):
+        region = Region.around(HK, 300.0)
+        model = RandomWaypointModel(region, speed_min_mps=5.0,
+                                    speed_max_mps=5.0, pause_s=1e9)
+        rng = DeterministicRNG(15)
+        pos = region.center
+        # a huge dt guarantees the first waypoint is reached, after
+        # which the enormous pause freezes the walker in place
+        pos = model.step(pos, 1e6, rng)
+        frozen = model.step(pos, 1000.0, rng)
+        assert (frozen.lat, frozen.lng) == (pos.lat, pos.lng)
+
+    def test_step_with_zero_dt_is_a_no_op(self):
+        region = Region.around(HK, 300.0)
+        model = RandomWaypointModel(region)
+        rng = DeterministicRNG(16)
+        pos = model.step(region.center, 0.0, rng)
+        assert (pos.lat, pos.lng) == (region.center.lat, region.center.lng)
+
+    def test_colocated_drivers_are_independent(self):
+        """A second mobile node never changes the first node's path."""
+        class FakeNode:
+            def __init__(self):
+                self.position = HK
+                self.trace = []
+
+            def move_to(self, pos):
+                self.position = pos
+                self.trace.append((pos.lat, pos.lng))
+
+        def run(with_second):
+            sim = Simulator()
+            root = DeterministicRNG(17, "mob")
+            region = Region.around(HK, 400.0)
+            first = FakeNode()
+            MobilityDriver(first, RandomWaypointModel(region), sim,
+                           root.fork("a"), interval_s=10.0).start()
+            if with_second:
+                MobilityDriver(FakeNode(), RandomWaypointModel(region), sim,
+                               root.fork("b"), interval_s=10.0).start()
+            sim.run(until=300.0)
+            return first.trace
+
+        trace = run(False)
+        assert trace  # the walker actually moved
+        assert trace == run(True)
