@@ -13,7 +13,7 @@ test:
 # static analysis: determinism/protocol rules (docs/static-analysis.md)
 # plus the docstring gate
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro.analysis src/ --strict-baseline
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src tests examples --strict-baseline
 	$(PYTHON) scripts/check_docstrings.py
 
 # mypy --strict over the typed core (repro.codec/common/crypto/geo),

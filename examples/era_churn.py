@@ -24,6 +24,7 @@ from repro.common.config import (
 )
 from repro.core import GPBFTDeployment
 from repro.geo.coords import LatLng
+from repro.common.eventlog import EV_ERA_SWITCH_COMPLETED
 
 CONFIG = GPBFTConfig(
     election=ElectionConfig(
@@ -58,7 +59,7 @@ def main() -> None:
     # audit elects them (capacity permitting: max 6)
     deployment.run(until=2 * 7200.0 + 100.0)
     show_state(deployment, "first audit cycle done: stationary devices elected")
-    switch_events = deployment.events.of_kind("era.switch_completed")
+    switch_events = deployment.events.of_kind(EV_ERA_SWITCH_COMPLETED)
     print(f"    era switches so far: {len(set(e.data['era'] for e in switch_events))}")
 
     # phase 3: endorser 2 starts moving -> eviction at a later audit

@@ -21,6 +21,7 @@ from repro.common.config import (
 )
 from repro.workloads import PoissonArrivals
 from repro.common.rng import DeterministicRNG
+from repro.common.eventlog import EV_BLOCK_COMMITTED
 
 
 def main() -> None:
@@ -54,7 +55,7 @@ def main() -> None:
     deployment.run(until=900.0)
 
     endorser = deployment.nodes[0]
-    blocks = deployment.events.of_kind("block.committed")
+    blocks = deployment.events.of_kind(EV_BLOCK_COMMITTED)
     produced = Counter(e.data["producer"] for e in blocks if e.node == 0)
     total_txs = sum(e.data["txs"] for e in blocks if e.node == 0)
 

@@ -19,6 +19,7 @@ from repro.common.config import (
 )
 from repro.metrics.latency import LatencySamples
 from repro.workloads import smart_city_scenario
+from repro.common.eventlog import EV_ERA_SWITCH_COMPLETED
 
 
 def main() -> None:
@@ -63,7 +64,7 @@ def main() -> None:
     print(f"  lamps elected: {len(lamps_in)}, vehicles elected: {len(vehicles_in)}")
     assert not vehicles_in, "moving vehicles must never qualify"
 
-    switches = deployment.events.of_kind("era.switch_completed")
+    switches = deployment.events.of_kind(EV_ERA_SWITCH_COMPLETED)
     eras = sorted({e.data["era"] for e in switches})
     print(f"  era switches observed: {eras}")
 

@@ -10,18 +10,24 @@ from typing import Iterable, Sequence
 from repro.analysis.baseline import Baseline, inline_allowed
 from repro.analysis.drules import determinism_rules
 from repro.analysis.findings import Finding
+from repro.analysis.irules import interprocedural_rules
 from repro.analysis.orules import observability_rules
 from repro.analysis.prules import protocol_rules
 from repro.analysis.rules import Module, Project, Rule
 from repro.common.errors import ConfigurationError
 
-#: Directory names never descended into.
-_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+#: Directory names never descended into (relative to each analyzed
+#: root, so ``analyze([tests/fixtures/analysis])`` still reaches the
+#: fixture tree while ``analyze([tests])`` skips planted violations).
+_SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".hypothesis", ".pytest_cache", "fixtures",
+})
 
 
 def all_rules() -> list[Rule]:
     """The registered rule set, in id order."""
-    rules = [*determinism_rules(), *protocol_rules(), *observability_rules()]
+    rules = [*determinism_rules(), *protocol_rules(),
+             *observability_rules(), *interprocedural_rules()]
     return sorted(rules, key=lambda r: r.rule_id)
 
 
@@ -49,7 +55,8 @@ def _iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
             yield path
         elif path.is_dir():
             for sub in sorted(path.rglob("*.py")):
-                if not any(part in _SKIP_DIRS for part in sub.parts):
+                rel_parts = sub.relative_to(path).parts
+                if not any(part in _SKIP_DIRS for part in rel_parts):
                     yield sub
 
 

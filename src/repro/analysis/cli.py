@@ -18,12 +18,24 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.analysis.analyzer import AnalysisResult, all_rules, analyze
+from repro.analysis.analyzer import AnalysisResult, all_rules, analyze, load_modules
 from repro.analysis.baseline import Baseline
 from repro.common.errors import ConfigurationError
 
 #: Default reviewed-allowlist location (repo root).
 DEFAULT_BASELINE = "analysis-baseline.toml"
+
+
+def default_paths() -> list[str]:
+    """The trees analyzed when no paths are given.
+
+    ``src`` plus -- when invoked from the repo root -- ``tests`` and
+    ``examples``, so planted regressions in test helpers and example
+    scripts are covered by the same gate (fixture trees are skipped by
+    the walker).
+    """
+    roots = [p for p in ("src", "tests", "examples") if Path(p).is_dir()]
+    return roots or ["src"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -32,8 +44,9 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Determinism & protocol-safety static analyzer "
                     "for the G-PBFT reproduction.",
     )
-    parser.add_argument("paths", nargs="*", default=["src"],
-                        help="files or directories to analyze (default: src)")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to analyze "
+                             "(default: src + tests + examples, as present)")
     parser.add_argument("--baseline", default=None, metavar="FILE",
                         help=f"suppression file (default: {DEFAULT_BASELINE} "
                              "if present)")
@@ -41,8 +54,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="ignore any baseline file")
     parser.add_argument("--strict-baseline", action="store_true",
                         help="fail (exit 1) when baseline entries are stale")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        help="finding output format")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="finding output format")
+    parser.add_argument("--callgraph", choices=("dot", "json"), default=None,
+                        metavar="{dot,json}",
+                        help="dump the interprocedural call graph instead "
+                             "of running rules")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule ids and titles, then exit")
     parser.add_argument("--doc", action="store_true",
@@ -97,6 +114,7 @@ def _print_json(result: AnalysisResult) -> None:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    paths = args.paths if args.paths else default_paths()
 
     if args.list_rules:
         for rule in all_rules():
@@ -104,6 +122,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.doc:
         print(render_rule_catalog())
+        return 0
+    if args.callgraph:
+        try:
+            project = load_modules([Path(p) for p in paths])
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        graph = project.callgraph()
+        print(graph.to_dot() if args.callgraph == "dot" else graph.to_json())
         return 0
 
     baseline = None
@@ -120,13 +147,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
 
     try:
-        result = analyze([Path(p) for p in args.paths], baseline=baseline)
+        result = analyze([Path(p) for p in paths], baseline=baseline)
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     if args.format == "json":
         _print_json(result)
+    elif args.format == "sarif":
+        from repro.analysis.sarif import render_sarif
+        print(render_sarif(result, all_rules()))
     else:
         _print_text(result)
 

@@ -78,6 +78,19 @@ class Project:
     """Every module of one analysis run, keyed by normalized path."""
 
     modules: dict[str, Module]
+    _callgraph: object = None
+
+    def callgraph(self):
+        """The project-wide call graph, built once and cached.
+
+        Lazy so single-file intraprocedural runs never pay for graph
+        construction; the import is local because
+        :mod:`repro.analysis.callgraph` imports this module.
+        """
+        if self._callgraph is None:
+            from repro.analysis.callgraph import build_callgraph
+            self._callgraph = build_callgraph(self)
+        return self._callgraph
 
     def find_suffix(self, suffix: str) -> Module | None:
         """The unique module whose path ends with *suffix*, if any."""

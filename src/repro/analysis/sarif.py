@@ -1,0 +1,78 @@
+"""SARIF 2.1.0 export for analyzer findings.
+
+SARIF (Static Analysis Results Interchange Format) is the schema CI
+forges ingest to annotate pull requests inline; ``python -m
+repro.analysis --format sarif`` emits one run with the full rule
+catalog in ``tool.driver.rules`` and one ``result`` per unsuppressed
+finding.  Only the stable subset of the spec is produced (no graphs,
+no code flows) so the document validates against any 2.1.0 consumer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.analyzer import AnalysisResult
+from repro.analysis.rules import Rule
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemas/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(result: AnalysisResult, rules: Sequence[Rule]) -> dict:
+    """The SARIF document for *result* as a plain dict."""
+    ordered = sorted(rules, key=lambda r: r.rule_id)
+    index = {rule.rule_id: i for i, rule in enumerate(ordered)}
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.analysis",
+                    "informationUri":
+                        "https://example.invalid/docs/static-analysis.md",
+                    "rules": [
+                        {
+                            "id": rule.rule_id,
+                            "name": rule.__class__.__name__,
+                            "shortDescription": {"text": rule.title},
+                            "helpUri":
+                                "docs/static-analysis.md#rule-catalog",
+                        }
+                        for rule in ordered
+                    ],
+                }
+            },
+            "results": [
+                {
+                    "ruleId": finding.rule_id,
+                    "ruleIndex": index.get(finding.rule_id, -1),
+                    "level": "error",
+                    "message": {"text": finding.message},
+                    "locations": [{
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col,
+                            },
+                        }
+                    }],
+                }
+                for finding in result.findings
+            ],
+        }],
+    }
+
+
+def render_sarif(result: AnalysisResult, rules: Sequence[Rule]) -> str:
+    """The SARIF document serialized for ``--format sarif``."""
+    return json.dumps(to_sarif(result, rules), indent=2)

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.common.config import NetworkConfig
 from repro.common.errors import ConfigurationError
-from repro.common.eventlog import EventLog
+from repro.common.eventlog import EV_POS_COMMITTED, EventLog
 from repro.common.rng import DeterministicRNG
 from repro.net.network import SimulatedNetwork
 from repro.net.simulator import Simulator
@@ -170,7 +170,7 @@ class PoSNetwork:
             if tip - index + 1 >= depth_needed:
                 self._committed_at[tx_id] = self.sim.now
                 self.events.record(
-                    self.sim.now, "pos.committed", tx_id=tx_id,
+                    self.sim.now, EV_POS_COMMITTED, tx_id=tx_id,
                     latency=self.sim.now - self._tx_submit_times[tx_id],
                 )
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.common.config import NetworkConfig
 from repro.common.errors import ConfigurationError
-from repro.common.eventlog import EventLog
+from repro.common.eventlog import EV_POW_COMMITTED, EV_POW_MINED, EventLog
 from repro.common.rng import DeterministicRNG
 from repro.crypto.hashing import digest_concat, sha256
 from repro.net.network import SimulatedNetwork
@@ -201,7 +201,7 @@ class PoWNetwork:
             tx_ids=txs,
             mined_at=self.sim.now,
         )
-        self.events.record(self.sim.now, "pow.mined", node=winner,
+        self.events.record(self.sim.now, EV_POW_MINED, node=winner,
                            height=block.height, txs=len(txs))
         self._accept_block(winner, block)
         self.network.multicast(winner, range(self.n), _BlockGossip(block))
@@ -244,7 +244,7 @@ class PoWNetwork:
                 if tx_id in self._tx_submit_times and tx_id not in self._committed_at:
                     self._committed_at[tx_id] = self.sim.now
                     self.events.record(
-                        self.sim.now, "pow.committed", node=0, tx_id=tx_id,
+                        self.sim.now, EV_POW_COMMITTED, node=0, tx_id=tx_id,
                         latency=self.sim.now - self._tx_submit_times[tx_id],
                     )
 

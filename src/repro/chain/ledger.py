@@ -35,6 +35,12 @@ class ForkEvidence:
     proposer: int
 
 
+#: Cap on retained fork evidence.  A single conflicting block already
+#: convicts its proposer; an equivocating peer replaying forks forever
+#: must not grow node memory without bound.
+MAX_FORK_EVIDENCE = 64
+
+
 class Ledger:
     """An append-only chain of blocks rooted at a genesis block."""
 
@@ -104,7 +110,8 @@ class Ledger:
                 rejected=block.digest(),
                 proposer=block.header.proposer,
             )
-            self._forks.append(evidence)
+            if len(self._forks) < MAX_FORK_EVIDENCE:
+                self._forks.append(evidence)
             raise ForkError(
                 f"fork at height {block.header.height}: proposer {block.header.proposer} "
                 f"offered {block.digest().hex()[:12]} but chain has "

@@ -109,6 +109,23 @@ class Reader:
         """Exactly *count* raw bytes."""
         return self._take(count)
 
+    def peek(self, count: int, *, offset: int = 0) -> bytes:
+        """*count* bytes starting *offset* past the cursor, not consumed.
+
+        Length-prefix look-ahead for variable-size records: bounds are
+        checked exactly like :meth:`raw`, so a truncated buffer fails
+        with :class:`ValidationError` instead of a silent short slice.
+        """
+        if count < 0 or offset < 0:
+            raise ValidationError("peek count/offset must be >= 0")
+        if self.remaining < offset + count:
+            raise ValidationError(
+                f"truncated message: need {offset + count} bytes ahead, "
+                f"have {self.remaining}"
+            )
+        start = self._pos + offset
+        return self._data[start:start + count]
+
     def skip(self, count: int) -> None:
         """Discard padding."""
         self._take(count)

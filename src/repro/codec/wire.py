@@ -368,8 +368,7 @@ def decode_block(data: bytes) -> Block:
     while reader.remaining:
         # peek the declared payload length to find this tx's extent:
         # header 40 (payload_len at offset 17) + payload + geo 32 + sig 64
-        chunk_start = len(data) - reader.remaining
-        payload_len = int.from_bytes(data[chunk_start + 17:chunk_start + 21], "big")
+        payload_len = int.from_bytes(reader.peek(4, offset=17), "big")
         tx_len = 40 + payload_len + 32 + 64
         tx, _ = decode_transaction(reader.raw(tx_len))
         txs.append(tx)
@@ -451,9 +450,7 @@ def decode_zone_checkpoint(data: bytes) -> ZoneCheckpointOperation:
         # peek the embedded tx's declared payload length to find this
         # envelope's extent: zones 8 + tx header 40 (payload_len at
         # offset 17) + payload + geo 32 + tx sig 64 + gateway sig 64
-        chunk_start = len(data) - reader.remaining
-        payload_len = int.from_bytes(
-            data[chunk_start + 8 + 17:chunk_start + 8 + 21], "big")
+        payload_len = int.from_bytes(reader.peek(4, offset=8 + 17), "big")
         env_len = 8 + 40 + payload_len + 32 + 64 + SIGNATURE_BYTES
         env, _sig = decode_xzone_tx(reader.raw(env_len))
         txs.append(env)

@@ -61,6 +61,11 @@ EV_XZONE_COMMITTED = "xzone.committed"
 EV_HIER_CHECKPOINT_SUBMITTED = "hier.checkpoint_submitted"
 EV_HIER_CHECKPOINT_COMMITTED = "hier.checkpoint_committed"
 
+# Comparison baselines (PoW / PoS simulators).
+EV_POW_MINED = "pow.mined"
+EV_POW_COMMITTED = "pow.committed"
+EV_POS_COMMITTED = "pos.committed"
+
 #: Every registered event kind (validation and test support).
 EVENT_KINDS: frozenset[str] = frozenset({
     EV_REQUEST_SUBMITTED,
@@ -91,6 +96,9 @@ EVENT_KINDS: frozenset[str] = frozenset({
     EV_XZONE_COMMITTED,
     EV_HIER_CHECKPOINT_SUBMITTED,
     EV_HIER_CHECKPOINT_COMMITTED,
+    EV_POW_MINED,
+    EV_POW_COMMITTED,
+    EV_POS_COMMITTED,
 })
 
 

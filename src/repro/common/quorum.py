@@ -28,6 +28,22 @@ def max_faulty(n: int) -> int:
     return (n - 1) // 3
 
 
+def tolerated_faults(n: int) -> int:
+    """``(n - 1) // 3`` without the BFT minimum-size requirement.
+
+    Clients and experiment sweeps legitimately meet degenerate
+    committees (``n < 4`` during bootstrap, capped endorser subsets);
+    those tolerate zero faults rather than being a configuration error.
+    Use :func:`max_faulty` wherever a real quorum system is required.
+
+    Raises:
+        QuorumError: if *n* is not positive.
+    """
+    if n < 1:
+        raise QuorumError(f"committee size must be >= 1, got {n}")
+    return (n - 1) // 3
+
+
 def quorum_size(f: int) -> int:
     """The ``2f + 1`` vote threshold for prepare/commit/view-change quorums.
 

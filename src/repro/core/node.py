@@ -41,6 +41,7 @@ from repro.common.eventlog import (
     EV_TX_SUBMITTED,
     EventLog,
 )
+from repro.common.quorum import tolerated_faults, weak_certificate_size
 from repro.common.rng import DeterministicRNG
 from repro.chain.block import Block
 from repro.chain.genesis import GenesisBlock
@@ -669,7 +670,7 @@ class GPBFTNode:
         key = (info.era, tuple(sorted(info.committee)))
         votes = self._committee_votes.setdefault(key, set())
         votes.add(info.sender)
-        needed = (len(self.committee) - 1) // 3 + 1
+        needed = weak_certificate_size(tolerated_faults(len(self.committee)))
         if len(votes) < needed:
             return
         self._committee_votes = {

@@ -21,6 +21,7 @@ from repro.common.config import (
 )
 from repro.common.errors import ConsensusError
 from repro.common.eventlog import EV_PBFT_EXECUTED, EV_REQUEST_COMPLETED
+from repro.common.quorum import tolerated_faults
 from repro.common.rng import DeterministicRNG
 from repro.core.messages import TxOperation
 from repro.experiments.engine import Engine, PointSpec
@@ -134,7 +135,7 @@ def _pbft_latency_point(
         max_events=MAX_EVENTS_PER_RUN,
     )
     _note_events(cluster.sim)
-    f = (n - 1) // 3
+    f = tolerated_faults(n)
     sample = []
     for rid, at in submissions[warmup:]:
         latency = _quorum_execution_latency(cluster.events, rid, at, f)
@@ -190,7 +191,7 @@ def _gpbft_latency_point(
         max_events=MAX_EVENTS_PER_RUN,
     )
     _note_events(dep.sim)
-    f = (min(n, max_endorsers) - 1) // 3
+    f = tolerated_faults(min(n, max_endorsers))
     sample = []
     for rid, at in submissions[warmup:]:
         latency = _quorum_execution_latency(dep.events, rid, at, f)

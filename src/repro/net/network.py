@@ -22,7 +22,7 @@ fault-injection tests and the view-change machinery.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.common.config import NetworkConfig
 from repro.common.errors import NetworkError
@@ -49,7 +49,7 @@ class NodeInterface:
         """Unicast *payload* to *dst*."""
         self._network.send(self.node_id, dst, payload)
 
-    def multicast(self, dsts, payload: Payload) -> None:
+    def multicast(self, dsts: Iterable[int], payload: Payload) -> None:
         """Send *payload* to every id in *dsts* (skipping self)."""
         self._network.multicast(self.node_id, dsts, payload)
 
@@ -236,7 +236,7 @@ class SimulatedNetwork:
             delay += tx_done - self.sim.now
         self.sim.schedule(delay, self._arrive, envelope)
 
-    def multicast(self, src: int, dsts, payload: Payload) -> None:
+    def multicast(self, src: int, dsts: Iterable[int], payload: Payload) -> None:
         """Send *payload* to every destination in *dsts* except *src*.
 
         Deliberately routed through :meth:`send` per destination: test

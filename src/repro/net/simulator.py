@@ -34,7 +34,7 @@ class ScheduledEvent:
         time: float,
         seq: int,
         callback: Callable[..., Any],
-        args: tuple,
+        args: tuple[Any, ...],
         sim: "Simulator | None" = None,
     ) -> None:
         self.time = time
@@ -157,7 +157,7 @@ class Simulator:
             return True
         return False
 
-    def export_instruments(self, registry) -> None:
+    def export_instruments(self, registry: Any) -> None:
         """Record loop-level gauges into an observability *registry*.
 
         Duck-typed (any object with ``gauge(name)``) so the simulator

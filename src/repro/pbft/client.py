@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.common.config import PBFTConfig
 from repro.common.errors import ConsensusError
 from repro.common.eventlog import EV_REQUEST_COMPLETED, EV_REQUEST_SUBMITTED, EventLog
+from repro.common.quorum import tolerated_faults
 from repro.net.simulator import ScheduledEvent, Simulator
 from repro.pbft.messages import ClientRequest, Operation, Reply
 
@@ -78,7 +79,7 @@ class PBFTClient:
         self._on_complete = on_complete
         self._route_fn = route_fn
         self._obs = obs
-        self.f = (len(self.committee) - 1) // 3
+        self.f = tolerated_faults(len(self.committee))
         self.view_hint = 0
         self._pending: dict[str, _PendingRequest] = {}
         self._submit_times: dict[str, float] = {}
@@ -168,5 +169,5 @@ class PBFTClient:
         if not committee:
             raise ConsensusError("committee must be non-empty")
         self.committee = tuple(committee)
-        self.f = (len(self.committee) - 1) // 3
+        self.f = tolerated_faults(len(self.committee))
         self.view_hint = 0

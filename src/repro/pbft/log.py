@@ -47,6 +47,13 @@ class InstanceState:
         return self.digest is None or self.digest == digest
 
 
+#: Cap on retained equivocation evidence.  One conflicting digest is
+#: already a proof of primary misbehaviour; keeping a few dozen aids
+#: debugging, but a spamming byzantine primary must not be able to grow
+#: replica memory without bound.
+MAX_CONFLICT_EVIDENCE = 64
+
+
 class MessageLog:
     """Quorum bookkeeping for one replica.
 
@@ -109,6 +116,12 @@ class MessageLog:
         """Observed equivocations: (view, seq, accepted, conflicting)."""
         return list(self._conflicts)
 
+    def _record_conflict(self, view: int, seq: int,
+                         accepted: bytes, conflicting: bytes) -> None:
+        """Retain equivocation evidence up to :data:`MAX_CONFLICT_EVIDENCE`."""
+        if len(self._conflicts) < MAX_CONFLICT_EVIDENCE:
+            self._conflicts.append((view, seq, accepted, conflicting))
+
     # -- message admission ----------------------------------------------------
 
     def add_pre_prepare(self, msg: PrePrepare) -> bool:
@@ -120,11 +133,11 @@ class MessageLog:
         state = self.instance(msg.view, msg.seq)
         if state.pre_prepare is not None:
             if state.digest != msg.digest:
-                self._conflicts.append((msg.view, msg.seq, state.digest, msg.digest))
+                self._record_conflict(msg.view, msg.seq, state.digest, msg.digest)
             return False
         if state.digest is not None and state.digest != msg.digest:
             # prepares arrived first with a different digest
-            self._conflicts.append((msg.view, msg.seq, state.digest, msg.digest))
+            self._record_conflict(msg.view, msg.seq, state.digest, msg.digest)
             return False
         state.pre_prepare = msg
         state.digest = msg.digest

@@ -1,0 +1,13 @@
+"""GPB011 fixture: one forked stream drained by unordered consumers."""
+
+
+def _draw_arrival(worker, stream):
+    return worker, stream.random()
+
+
+def fan_out(rng, workers):
+    stream = rng.fork("arrivals")
+    results = []
+    for worker in workers.values():  # gpb: allow GPB003 -- the shared-stream hazard below is the planted violation
+        results.append(_draw_arrival(worker, stream))  # PLANT: GPB011
+    return results

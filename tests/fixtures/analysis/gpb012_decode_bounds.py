@@ -1,0 +1,9 @@
+"""GPB012 fixture: a decoder indexing the buffer before any bounds check."""
+
+
+def decode_frame(data):
+    start = 4
+    length = int.from_bytes(data[start:start + 4], "big")  # PLANT: GPB012
+    if len(data) < 8 + length:
+        raise ValueError("short frame")
+    return data[8:8 + length]

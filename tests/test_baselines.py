@@ -6,13 +6,14 @@ from repro.baselines.dbft import DBFTConfig, DBFTNetwork, elect_delegates
 from repro.baselines.pos import PoSConfig, PoSNetwork, slot_leader
 from repro.baselines.pow import PoWConfig, PoWNetwork
 from repro.common.errors import ConfigurationError
+from repro.common.eventlog import EV_POW_MINED
 
 
 class TestPoW:
     def test_blocks_are_mined_at_roughly_the_target_rate(self):
         net = PoWNetwork(n_miners=5, config=PoWConfig(block_interval_s=20.0), seed=1)
         net.run(until=2000.0)
-        mined = net.events.count("pow.mined")
+        mined = net.events.count(EV_POW_MINED)
         assert 60 < mined < 140  # ~100 expected
 
     def test_transactions_confirm_after_k_blocks(self):
@@ -31,7 +32,8 @@ class TestPoW:
             net.submit_tx(f"tx-{k}")
         net.run(until=500.0)
         # all miners agree on a long common prefix
-        chains = [tuple(b.digest for b in m.chain()) for m in net.miners.values()]
+        chains = [tuple(b.digest for b in m.chain())
+                  for _, m in sorted(net.miners.items())]
         shortest = min(len(c) for c in chains)
         assert shortest > 10
         prefix_len = shortest - 3  # tips may differ transiently
@@ -44,8 +46,8 @@ class TestPoW:
         fast.run(until=120.0)
         slow = PoWNetwork(n_miners=8, config=PoWConfig(block_interval_s=60.0), seed=9)
         slow.run(until=12_000.0)
-        fast_rate = fast.orphans / max(1, fast.events.count("pow.mined"))
-        slow_rate = slow.orphans / max(1, slow.events.count("pow.mined"))
+        fast_rate = fast.orphans / max(1, fast.events.count(EV_POW_MINED))
+        slow_rate = slow.orphans / max(1, slow.events.count(EV_POW_MINED))
         assert fast_rate > slow_rate
 
     def test_hash_work_grows_with_time_and_miners(self):

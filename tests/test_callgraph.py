@@ -1,0 +1,140 @@
+"""Unit tests for the project-wide call graph (repro.analysis.callgraph).
+
+The interprocedural rules stand on this graph, so its resolution
+behavior is pinned directly: qualified naming, bare/self/module-prefix
+call resolution, recursion cycles, the dynamic-dispatch fallback over
+same-named methods, and the conservative ``getattr`` treatment.
+"""
+
+from repro.analysis.analyzer import load_modules
+from repro.analysis.callgraph import build_callgraph
+
+
+def _graph(tmp_path, files):
+    for name, src in files.items():
+        (tmp_path / name).write_text(src)
+    return build_callgraph(load_modules([tmp_path]))
+
+
+def _qual(graph, suffix):
+    """The unique qualified name ending in *suffix*."""
+    matches = [q for q in graph.functions if q.endswith(suffix)]
+    assert len(matches) == 1, (suffix, sorted(graph.functions))
+    return matches[0]
+
+
+def _callee_names(graph, qual):
+    return sorted(e.callee.rsplit("::", 1)[-1] for e in graph.callees(qual))
+
+
+class TestResolution:
+    def test_bare_call_resolves_to_local_def(self, tmp_path):
+        graph = _graph(tmp_path, {"mod.py": (
+            "def helper():\n    return 1\n"
+            "def top():\n    return helper()\n"
+        )})
+        edges = graph.callees(_qual(graph, "::top"))
+        assert [e.callee for e in edges] == [_qual(graph, "::helper")]
+        assert not edges[0].dynamic
+
+    def test_self_call_resolves_within_class(self, tmp_path):
+        graph = _graph(tmp_path, {"mod.py": (
+            "class Worker:\n"
+            "    def step(self):\n        return self._impl()\n"
+            "    def _impl(self):\n        return 0\n"
+        )})
+        edges = graph.callees(_qual(graph, "::Worker.step"))
+        assert [e.callee for e in edges] == [_qual(graph, "::Worker._impl")]
+        assert not edges[0].dynamic
+
+    def test_imported_symbol_resolves_across_modules(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "alpha.py": "def util():\n    return 7\n",
+            "beta.py": (
+                "from alpha import util\n"
+                "def caller():\n    return util()\n"
+            ),
+        })
+        edges = graph.callees(_qual(graph, "::caller"))
+        assert [e.callee for e in edges] == [_qual(graph, "alpha.py::util")]
+        assert not edges[0].dynamic
+
+    def test_nested_defs_are_not_attributed_to_the_outer_function(self, tmp_path):
+        # only top-level functions and class methods are graph nodes;
+        # a closure's calls must not leak into its enclosing function
+        graph = _graph(tmp_path, {"mod.py": (
+            "def leaf():\n    return 1\n"
+            "def outer():\n"
+            "    def inner():\n        return leaf()\n"
+            "    return inner\n"
+        )})
+        assert not any(q.endswith("inner") for q in graph.functions)
+        assert graph.callees(_qual(graph, "::outer")) == []
+
+
+class TestCycles:
+    def test_mutual_recursion_terminates_and_is_fully_reachable(self, tmp_path):
+        graph = _graph(tmp_path, {"mod.py": (
+            "def ping(n):\n    return pong(n - 1) if n else 0\n"
+            "def pong(n):\n    return ping(n - 1) if n else 0\n"
+        )})
+        ping, pong = _qual(graph, "::ping"), _qual(graph, "::pong")
+        assert graph.reachable_from([ping]) == {ping, pong}
+
+    def test_self_recursion_single_node_cycle(self, tmp_path):
+        graph = _graph(tmp_path, {"mod.py": (
+            "def loop(n):\n    return loop(n - 1) if n else 0\n"
+        )})
+        loop = _qual(graph, "::loop")
+        assert graph.reachable_from([loop]) == {loop}
+
+
+class TestDynamicDispatch:
+    SOURCES = {"mod.py": (
+        "class Primary:\n"
+        "    def handle(self, msg):\n        return 'p'\n"
+        "class Backup:\n"
+        "    def handle(self, msg):\n        return 'b'\n"
+        "def route(target, msg):\n    return target.handle(msg)\n"
+    )}
+
+    def test_unknown_receiver_fans_out_to_every_same_named_method(self, tmp_path):
+        graph = _graph(tmp_path, self.SOURCES)
+        edges = graph.callees(_qual(graph, "::route"))
+        assert sorted(e.callee.rsplit("::", 1)[-1] for e in edges) == [
+            "Backup.handle", "Primary.handle"]
+        assert all(e.dynamic for e in edges)
+
+    def test_dot_rendering_dashes_dynamic_edges(self, tmp_path):
+        graph = _graph(tmp_path, self.SOURCES)
+        dot = graph.to_dot()
+        assert dot.startswith("digraph")
+        assert "style=dashed" in dot
+
+    def test_json_rendering_marks_dynamic_edges(self, tmp_path):
+        import json
+        graph = _graph(tmp_path, self.SOURCES)
+        data = json.loads(graph.to_json())
+        dynamic_flags = {e["dynamic"] for e in data["edges"]}
+        assert dynamic_flags == {True}
+
+
+class TestGetattr:
+    def test_literal_getattr_produces_conservative_edges(self, tmp_path):
+        graph = _graph(tmp_path, {"mod.py": (
+            "class Node:\n"
+            "    def on_ping(self, msg):\n        return msg\n"
+            "def dispatch(node, msg):\n"
+            "    return getattr(node, 'on_ping')(msg)\n"
+        )})
+        edges = graph.callees(_qual(graph, "::dispatch"))
+        assert [e.callee.rsplit("::", 1)[-1] for e in edges] == ["Node.on_ping"]
+        assert edges[0].dynamic
+
+    def test_computed_getattr_marks_caller_opaque(self, tmp_path):
+        graph = _graph(tmp_path, {"mod.py": (
+            "def dispatch(node, name, msg):\n"
+            "    return getattr(node, 'on_' + name)(msg)\n"
+        )})
+        info = graph.functions[_qual(graph, "::dispatch")]
+        assert info.has_opaque_calls

@@ -20,6 +20,7 @@ from hypothesis import given, settings, strategies as st
 from repro.common.config import GPBFTConfig, NetworkConfig, PBFTConfig, VerifyConfig
 from repro.core import GPBFTDeployment
 from repro.pbft import CrashFaults, PBFTCluster, RawOperation
+from repro.common.eventlog import EV_ERA_SWITCH_COMPLETED
 
 N_REPLICAS = 7  # f = 2
 FAST_PBFT = PBFTConfig(view_change_timeout_s=5.0, request_retry_timeout_s=20.0)
@@ -93,7 +94,7 @@ class TestPBFTChaos:
         # must eventually commit
         faults = {5: CrashFaults(), 6: CrashFaults()}
         cluster = PBFTCluster(N_REPLICAS, 1, config=_config(seed), faults=faults)
-        for target in faults.values():
+        for _, target in sorted(faults.items()):
             cluster.sim.schedule_at(crash_at, target.crash)
             cluster.sim.schedule_at(crash_at + recover_after, target.recover)
         rid = cluster.submit(RawOperation("must-commit"))
@@ -157,7 +158,7 @@ class TestGPBFTChaos:
         dep.sim.schedule_at(90.0, dep.submit_from, 5)
         dep.run(until=600.0)
 
-        switches = dep.events.of_kind("era.switch_completed")
+        switches = dep.events.of_kind(EV_ERA_SWITCH_COMPLETED)
         assert switches, "era switch never committed after the heal"
         assert all(e.at > 40.0 for e in switches), \
             "switch committed during the partition despite no quorum"

@@ -7,6 +7,7 @@ regenerates them exactly.
 
 from repro.core import GPBFTDeployment
 from repro.pbft import PBFTCluster, RawOperation
+from repro.common.eventlog import EV_REQUEST_COMPLETED
 
 
 def _pbft_trace(seed: int):
@@ -41,8 +42,8 @@ class TestDeterminism:
         events_a, _ = _pbft_trace(11)
         events_b, _ = _pbft_trace(12)
         # same protocol outcome, different network jitter draws
-        assert [e[1] for e in events_a if e[1] == "request.completed"] == \
-               [e[1] for e in events_b if e[1] == "request.completed"]
+        assert [e[1] for e in events_a if e[1] == EV_REQUEST_COMPLETED] == \
+               [e[1] for e in events_b if e[1] == EV_REQUEST_COMPLETED]
         assert events_a != events_b
 
     def test_gpbft_run_is_reproducible(self):

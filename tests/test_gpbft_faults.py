@@ -11,6 +11,7 @@ import pytest
 from repro.common.config import PBFTConfig, GPBFTConfig
 from repro.core import GPBFTDeployment
 from repro.pbft.faults import CrashFaults, EquivocatingFaults
+from repro.common.eventlog import EV_TX_COMMITTED
 
 
 def fast_config():
@@ -90,7 +91,7 @@ class TestBlockModeFaults:
         dep.run(until=600)
         live = dep.nodes[0]
         assert live.ledger.height >= 1
-        committed = {e.data["tx_id"] for e in dep.events.of_kind("tx.committed")}
+        committed = {e.data["tx_id"] for e in dep.events.of_kind(EV_TX_COMMITTED)}
         assert len(committed) == 5
         assert dep.ledgers_consistent()
 

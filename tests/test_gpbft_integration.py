@@ -5,6 +5,8 @@ no-commit-during-switch invariant, committee announcements to devices,
 chain sync for new endorsers, and block-production mode.
 """
 
+import itertools
+
 import pytest
 
 from repro.common.config import (
@@ -15,6 +17,7 @@ from repro.common.config import (
 )
 from repro.core import GPBFTDeployment
 from repro.geo.coords import LatLng
+from repro.common.eventlog import EV_BLOCK_COMMITTED, EV_GPBFT_HALTED_BELOW_MINIMUM, EV_TX_COMMITTED
 
 
 def fast_config(max_endorsers=40, min_endorsers=4, era_period=7200.0):
@@ -134,7 +137,7 @@ class TestEraSwitches:
                               config=fast_config(max_endorsers=6), seed=10)
         dep.run(until=2 * 7200.0 + 200)
         committee = dep.committee
-        for node in dep.nodes.values():
+        for _, node in sorted(dep.nodes.items()):
             assert node.committee == committee
 
     def test_forced_switch_preserves_consistency(self):
@@ -158,7 +161,7 @@ class TestEraSwitches:
         assert len(periods) == 1
         start, end = periods[0]
         assert end - start == pytest.approx(0.25)
-        for event in dep.events.of_kind("tx.committed"):
+        for event in dep.events.of_kind(EV_TX_COMMITTED):
             assert not (start <= event.at < end)
 
     def test_in_flight_tx_survives_switch(self):
@@ -207,7 +210,7 @@ class TestMinimumHalt:
         node0 = dep.nodes[0]
         assert len(dep.committee) == 4
         assert node0.halted_below_minimum
-        assert dep.events.of_kind("gpbft.halted_below_minimum")
+        assert dep.events.of_kind(EV_GPBFT_HALTED_BELOW_MINIMUM)
 
         # transactions are refused (buffered) while halted
         rid = dep.submit_from(6)
@@ -246,7 +249,7 @@ class TestBlockMode:
         dep.submit_from(6)
         dep.run(until=300)
         endorser = dep.nodes[0]
-        events = dep.events.of_kind("block.committed")
+        events = dep.events.of_kind(EV_BLOCK_COMMITTED)
         assert events
         producer = events[0].data["producer"]
         fee = 1.0  # default fee of auto-generated transactions
@@ -324,10 +327,11 @@ class TestCombinedConditions:
         dep = GPBFTDeployment(n_nodes=10, n_endorsers=4, config=config, seed=62)
         submitted = []
 
-        def submit_loop(k=[0]):
-            node = dep.nodes[8 + (k[0] % 2)]
+        ticks = itertools.count()
+
+        def submit_loop():
+            node = dep.nodes[8 + (next(ticks) % 2)]
             submitted.append(node.submit_transaction())
-            k[0] += 1
             dep.sim.schedule(600.0, submit_loop)
 
         submit_loop()

@@ -18,7 +18,7 @@ from repro.analysis.models import (
     utilization,
 )
 from repro.common.errors import ConfigurationError
-from repro.common.eventlog import EventLog
+from repro.common.eventlog import EV_REQUEST_COMPLETED, EventLog
 from repro.metrics.collector import (
     SweepResult,
     render_boxplot_rows,
@@ -51,8 +51,8 @@ class TestBoxplotStats:
 
     def test_latency_samples_from_events(self):
         log = EventLog()
-        log.record(1.0, "request.completed", latency=0.5)
-        log.record(2.0, "request.completed", latency=0.7)
+        log.record(1.0, EV_REQUEST_COMPLETED, latency=0.5)
+        log.record(2.0, EV_REQUEST_COMPLETED, latency=0.7)
         log.record(3.0, "other")
         samples = LatencySamples()
         assert samples.add_from_events(log) == 2

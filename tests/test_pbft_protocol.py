@@ -16,6 +16,7 @@ from repro.pbft import (
     RawOperation,
 )
 from repro.pbft.faults import MuteFaults, SelectiveDropFaults
+from repro.common.eventlog import EV_PBFT_STATE_TRANSFER
 
 
 def fast_config(**pbft_overrides) -> GPBFTConfig:
@@ -73,7 +74,7 @@ class TestCheckpoints:
             cluster.submit(RawOperation(f"op-{i}"))
         cluster.run(until=300)
         assert len(cluster.any_client.completed) == 8
-        for replica in cluster.replicas.values():
+        for _, replica in sorted(cluster.replicas.items()):
             assert replica.stable_seq >= 4
 
     def test_log_garbage_collected(self):
@@ -82,7 +83,7 @@ class TestCheckpoints:
         for i in range(6):
             cluster.submit(RawOperation(f"op-{i}"))
         cluster.run(until=300)
-        for replica in cluster.replicas.values():
+        for _, replica in sorted(cluster.replicas.items()):
             live = [s.seq for s in replica.log.instances()]
             assert all(seq > replica.stable_seq for seq in live)
 
@@ -204,7 +205,7 @@ class TestStateTransfer:
         cluster.run(until=3000)
         assert cluster.replicas[3].last_executed == cluster.replicas[0].last_executed
         assert cluster.committed_ops(3) == cluster.committed_ops(0)
-        assert cluster.events.of_kind("pbft.state_transfer")
+        assert cluster.events.of_kind(EV_PBFT_STATE_TRANSFER)
 
     def test_transfer_traffic_is_accounted(self):
         cluster, faults = self._cluster()
@@ -217,7 +218,7 @@ class TestStateTransfer:
         for i in range(8):
             cluster.submit(RawOperation(f"kick-{i}"))
         cluster.run(until=3000)
-        assert cluster.network.stats.bytes_by_kind.get("pbft.state_transfer", 0) > 0
+        assert cluster.network.stats.bytes_by_kind.get(EV_PBFT_STATE_TRANSFER, 0) > 0
 
 
 class TestClient:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import ConfigurationError
-from repro.common.eventlog import EventLog
+from repro.common.eventlog import EV_REQUEST_COMPLETED, EV_REQUEST_SUBMITTED, EV_TX_COMMITTED, EventLog
 from repro.metrics.throughput import ThroughputSample, throughput_from_events
 
 
@@ -28,8 +28,8 @@ class TestFromEvents:
     def _log(self):
         log = EventLog()
         for t in range(20):
-            log.record(float(t), "request.submitted", request_id=str(t))
-            log.record(t + 0.5, "request.completed", request_id=str(t), latency=0.5)
+            log.record(float(t), EV_REQUEST_SUBMITTED, request_id=str(t))
+            log.record(t + 0.5, EV_REQUEST_COMPLETED, request_id=str(t), latency=0.5)
         return log
 
     def test_window_counts(self):
@@ -49,6 +49,6 @@ class TestFromEvents:
 
     def test_custom_kinds(self):
         log = EventLog()
-        log.record(1.0, "tx.committed", tx_id="a")
-        sample = throughput_from_events(log, 0.0, 10.0, commit_kind="tx.committed")
+        log.record(1.0, EV_TX_COMMITTED, tx_id="a")
+        sample = throughput_from_events(log, 0.0, 10.0, commit_kind=EV_TX_COMMITTED)
         assert sample.committed == 1

@@ -17,7 +17,7 @@ import pytest
 
 from repro.common.config import VerifyConfig
 from repro.common.errors import ConfigurationError
-from repro.common.eventlog import Event, EventLog
+from repro.common.eventlog import EV_PBFT_ENTERED_VIEW, Event, EventLog
 from repro.experiments.engine import Engine
 from repro.verify import InvariantViolation, MonitorHarness
 from repro.verify.cli import main as verify_main
@@ -151,9 +151,9 @@ class TestMonitorHarness:
         host = self._host()
         harness = MonitorHarness(host, VerifyConfig(monitors=True),
                                  monitors=[ViewChangeMonotonicityMonitor()])
-        host.events.append(Event(1.0, "pbft.entered_view", 0, {"view": 2}))
+        host.events.append(Event(1.0, EV_PBFT_ENTERED_VIEW, 0, {"view": 2}))
         with pytest.raises(InvariantViolation) as exc:
-            host.events.append(Event(2.0, "pbft.entered_view", 0, {"view": 2}))
+            host.events.append(Event(2.0, EV_PBFT_ENTERED_VIEW, 0, {"view": 2}))
         violation = exc.value
         assert violation.monitor == "view-monotonicity"
         # the trace window ends with the offending event, serializably
@@ -165,19 +165,19 @@ class TestMonitorHarness:
         host = self._host()
         MonitorHarness(host, VerifyConfig(monitors=True),
                        monitors=[ViewChangeMonotonicityMonitor()])
-        host.events.append(Event(1.0, "pbft.entered_view", 0,
+        host.events.append(Event(1.0, EV_PBFT_ENTERED_VIEW, 0,
                                  {"view": 5, "epoch": 0}))
         # same node re-entering view 1 in the next epoch is legal
-        host.events.append(Event(2.0, "pbft.entered_view", 0,
+        host.events.append(Event(2.0, EV_PBFT_ENTERED_VIEW, 0,
                                  {"view": 1, "epoch": 1}))
 
     def test_detach_stops_monitoring(self):
         host = self._host()
         harness = MonitorHarness(host, VerifyConfig(monitors=True),
                                  monitors=[ViewChangeMonotonicityMonitor()])
-        host.events.append(Event(1.0, "pbft.entered_view", 0, {"view": 3}))
+        host.events.append(Event(1.0, EV_PBFT_ENTERED_VIEW, 0, {"view": 3}))
         harness.detach()
-        host.events.append(Event(2.0, "pbft.entered_view", 0, {"view": 1}))
+        host.events.append(Event(2.0, EV_PBFT_ENTERED_VIEW, 0, {"view": 1}))
 
 
 class TestMutationSelfTest:

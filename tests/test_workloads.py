@@ -13,6 +13,7 @@ from repro.workloads.mobility import (
     RandomWaypointModel,
     StationaryModel,
 )
+from repro.common.eventlog import EV_REQUEST_COMPLETED
 from repro.workloads.scenarios import (
     asset_tracking_scenario,
     parking_lot_scenario,
@@ -146,7 +147,7 @@ class TestScenarios:
         scenario.run(120.0)
         dep = scenario.deployment
         assert dep.ledgers_consistent()
-        committed = dep.events.count("request.completed")
+        committed = dep.events.count(EV_REQUEST_COMPLETED)
         assert committed >= 4  # vehicles got transactions through
 
     def test_smart_city_vehicles_actually_move(self):
@@ -166,7 +167,7 @@ class TestScenarios:
         scenario.start(tx_limit_per_node=1)
         scenario.run(120.0)
         dep = scenario.deployment
-        assert dep.events.count("request.completed") == 6
+        assert dep.events.count(EV_REQUEST_COMPLETED) == 6
         assert dep.ledgers_consistent()
 
     def test_asset_tracking_records_positions_on_chain(self):
@@ -174,7 +175,7 @@ class TestScenarios:
         scenario.start()
         scenario.run(240.0)
         dep = scenario.deployment
-        assert dep.events.count("request.completed") > 0
+        assert dep.events.count(EV_REQUEST_COMPLETED) > 0
         assert dep.ledgers_consistent()
         ledger = dep.nodes[0].ledger
         tracked = [a for a in range(6, 10) if ledger.state.get(f"asset{a}")]
