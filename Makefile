@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck bench bench-smoke bench-pytest sweep-smoke verify-smoke shard-smoke packs-smoke trace-smoke figures figures-paper charts examples clean
+.PHONY: install test lint typecheck bench bench-smoke bench-pytest agg-smoke sweep-smoke verify-smoke shard-smoke packs-smoke trace-smoke figures figures-paper charts examples clean
 
 install:
 	pip install -e ".[dev]"
@@ -32,6 +32,15 @@ bench-smoke:
 # the pytest-benchmark tables/figures suite (one bench per experiment)
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# one aggregated-workload point at smoke scale: two zones driven by
+# AggregatedArrivals streams over a 60 s simulated horizon; every
+# offered request must complete (docs/performance.md)
+agg-smoke:
+	PYTHONPATH=src $(PYTHON) -c "from repro.experiments.engine import PointSpec, run_point; \
+	out = run_point(PointSpec.make('gpbft', 'agg', 120, zones=2, duration_s=60.0, drain_slack_s=600.0)); \
+	print(out); \
+	assert out['completed'] == out['offered'] > 0, out"
 
 # 2-point parallel sweep through the engine (jobs=2) + docstring gate
 # over the engine module; the same test runs in tier-1 via its marker

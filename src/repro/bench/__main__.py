@@ -78,6 +78,23 @@ def _profile_benchmark(bench, top_n: int) -> None:
     print(stream.getvalue())
 
 
+def _peak_rss_mb() -> float:
+    """Peak resident set size of this process so far, in MiB.
+
+    Recorded as the ``sim.peak_rss_mb`` gauge next to the timings:
+    million-request aggregated runs are memory-bound long before they
+    are CPU-bound, so a bench report without the high-water mark hides
+    the regression that matters most.  ``ru_maxrss`` is kilobytes on
+    Linux and bytes on macOS.
+    """
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
 def _instrument_snapshot() -> dict:
     """Phase-attribution context recorded next to the timings.
 
@@ -128,6 +145,7 @@ def main(argv: list[str] | None = None) -> int:
         profile = "quick" if args.quick else "full"
         report = build_report(results, profile)
         report["instruments"] = _instrument_snapshot()
+        report["gauges"] = {"sim.peak_rss_mb": round(_peak_rss_mb(), 1)}
         written = write_report(report, args.out, merge=not args.no_merge)
         print(f"wrote {args.out} ({len(written['benchmarks'])} benchmarks)")
 

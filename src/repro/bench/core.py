@@ -191,10 +191,12 @@ def merge_reports(base: dict, update: dict) -> dict:
         "profile": update.get("profile", base.get("profile")),
         "benchmarks": merged,
     }
-    # phase-attribution context from repro.obs rides along when present
-    instruments = update.get("instruments", base.get("instruments"))
-    if instruments is not None:
-        out["instruments"] = instruments
+    # phase-attribution context from repro.obs and process gauges
+    # (peak RSS) ride along when present
+    for extra in ("instruments", "gauges"):
+        value = update.get(extra, base.get(extra))
+        if value is not None:
+            out[extra] = value
     return out
 
 

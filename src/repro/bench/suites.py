@@ -181,6 +181,38 @@ def _e2e_pbft_n202():
     return _e2e_point(202)
 
 
+def _e2e_pbft_n1000():
+    """Full consensus round at city scale (n = 1000 replicas).
+
+    One transaction through a thousand-replica committee: ~2M prepare +
+    commit messages, the largest quorum-bookkeeping and multicast
+    workload in the suite.
+    """
+    return _e2e_point(1000)
+
+
+def _e2e_agg_day_1m():
+    """A million-request simulated day over 12 aggregated city zones.
+
+    The flagship aggregated-workload point: 12 endorser committees
+    co-hosted on one simulator, each zone driven by a diurnal
+    :class:`~repro.workloads.streams.AggregatedArrivals` stream instead
+    of per-client objects, with every unbounded log capped so memory
+    stays flat across ~60M simulator events.
+    """
+    spec = PointSpec.make("gpbft", "agg", 1_050_000, zones=12,
+                          duration_s=86_400.0, profile="diurnal")
+
+    def thunk() -> dict:
+        out = run_point(spec)
+        if out["completed"] < 1_000_000:
+            raise RuntimeError(
+                f"aggregated day under-delivered: {out['completed']} "
+                f"completed of {out['offered']} offered")
+        return out
+    return thunk
+
+
 def _e2e_hier_2zone_n64():
     """Hierarchical 2-zone deployment (32 nodes each) committing an
     inter-zone transaction through the top-level checkpoint layer."""
@@ -230,6 +262,10 @@ SUITE = [
     Benchmark("pbft.log_quorum", _pbft_log_quorum, ops=20 * 27 * 2),
     Benchmark("e2e.pbft_traffic_n40", _e2e_pbft_n40, repeats=3),
     Benchmark("e2e.pbft_traffic_n202", _e2e_pbft_n202, repeats=3,
+              warmup=0, quick=False),
+    Benchmark("e2e.pbft_traffic_n1000", _e2e_pbft_n1000, repeats=1,
+              warmup=0, quick=False),
+    Benchmark("e2e.agg_day_1M", _e2e_agg_day_1m, repeats=1,
               warmup=0, quick=False),
     Benchmark("e2e.hier_2zone_n64", _e2e_hier_2zone_n64, repeats=3,
               warmup=0, quick=False),

@@ -107,12 +107,20 @@ class PBFTConfig:
         view_change_timeout_s: how long a backup waits for progress on a
             pre-prepared request before broadcasting a view change.
         request_retry_timeout_s: client-side retransmission timeout.
+        retry_backoff_factor: multiplier applied to the retry timeout on
+            every retransmission (exponential backoff).  The default of
+            1.0 keeps the constant schedule bit-identically; million-
+            request runs raise it so lost requests do not amplify into
+            retransmit storms.
+        retry_backoff_max_s: ceiling on the backed-off retry delay.
     """
 
     checkpoint_interval: int = 64
     watermark_window: int = 256
     view_change_timeout_s: float = 120.0
     request_retry_timeout_s: float = 600.0
+    retry_backoff_factor: float = 1.0
+    retry_backoff_max_s: float = float("inf")
 
     def __post_init__(self) -> None:
         _require(self.checkpoint_interval > 0, "checkpoint_interval must be > 0")
@@ -122,6 +130,8 @@ class PBFTConfig:
         )
         _require(self.view_change_timeout_s > 0, "view_change_timeout_s must be > 0")
         _require(self.request_retry_timeout_s > 0, "request_retry_timeout_s must be > 0")
+        _require(self.retry_backoff_factor >= 1.0, "retry_backoff_factor must be >= 1.0")
+        _require(self.retry_backoff_max_s > 0, "retry_backoff_max_s must be > 0")
 
 
 @dataclass(frozen=True)
@@ -320,6 +330,12 @@ class ZoneSpec:
             (:class:`repro.workloads.profiles.FleetMix`); ``None``
             (default) keeps the uniform fleet, bit-identical to the
             unprofiled simulation.
+        workload: how the zone's light clients are driven.
+            ``"objects"`` (default) keeps one arrival process per client
+            object; ``"aggregate"`` replaces them with one per-zone
+            :class:`repro.workloads.streams.AggregatedArrivals` stream
+            over a small pool of virtual client identities, which is
+            what makes million-request city-scale runs tractable.
     """
 
     name: str
@@ -329,6 +345,7 @@ class ZoneSpec:
     fixed_fraction: float = 1.0
     id_base: int = 0
     profiles: "FleetMix | None" = None
+    workload: str = "objects"
 
     def __post_init__(self) -> None:
         _require(bool(self.name), "zone name must be non-empty")
@@ -338,6 +355,8 @@ class ZoneSpec:
         _require(0.0 <= self.fixed_fraction <= 1.0,
                  "fixed_fraction must lie in [0, 1]")
         _require(self.id_base >= 0, "id_base must be >= 0")
+        _require(self.workload in ("objects", "aggregate"),
+                 f"unknown workload {self.workload!r}")
         if self.profiles is not None:
             self.profiles.validate_for(self.n_nodes)
 
@@ -376,6 +395,9 @@ class TopologySpec:
     checkpoint_interval_s: float = 2.0
     top_committee_size: int | None = None
     profiles: "FleetMix | None" = None
+    #: bound on every host event log (ring of newest events, exact
+    #: per-kind counts); ``None`` keeps the unbounded append-only log
+    event_capacity: int | None = None
 
     def __post_init__(self) -> None:
         _require(self.protocol in ("pbft", "gpbft"),
@@ -386,6 +408,8 @@ class TopologySpec:
         _require(self.checkpoint_interval_s > 0.0,
                  "checkpoint_interval_s must be > 0")
         _require(self.witness_range_m > 0.0, "witness_range_m must be > 0")
+        _require(self.event_capacity is None or self.event_capacity >= 1,
+                 "event_capacity must be >= 1 when given")
         if self.protocol == "pbft":
             _require(not self.zones, "pbft topologies take no zones")
             _require(self.n_replicas >= 1, "n_replicas must be >= 1")
@@ -419,7 +443,9 @@ class TopologySpec:
                block_interval_s: float = 5.0,
                sybil_protection: bool = False,
                witness_range_m: float = 150.0,
-               profiles: "FleetMix | None" = None) -> "TopologySpec":
+               profiles: "FleetMix | None" = None,
+               workload: str = "objects",
+               event_capacity: int | None = None) -> "TopologySpec":
         """The paper's one-committee deployment as a degenerate topology.
 
         ``TopologySpec.single(...).build()`` is bit-identical (same RNG
@@ -428,20 +454,23 @@ class TopologySpec:
         """
         zone = ZoneSpec(name="z0", n_nodes=n_nodes, n_endorsers=n_endorsers,
                         region=region, fixed_fraction=fixed_fraction,
-                        profiles=profiles)
+                        profiles=profiles, workload=workload)
         return cls(protocol="gpbft", zones=(zone,), seed=seed, config=config,
                    mode=mode, start_reports=start_reports,
                    block_interval_s=block_interval_s,
                    sybil_protection=sybil_protection,
-                   witness_range_m=witness_range_m)
+                   witness_range_m=witness_range_m,
+                   event_capacity=event_capacity)
 
     @classmethod
     def cluster(cls, n_replicas: int = 4, n_clients: int = 1, *,
                 config: GPBFTConfig | None = None,
-                profiles: "FleetMix | None" = None) -> "TopologySpec":
+                profiles: "FleetMix | None" = None,
+                event_capacity: int | None = None) -> "TopologySpec":
         """A flat PBFT replica cluster (no geography, no zones)."""
         return cls(protocol="pbft", zones=(), n_replicas=n_replicas,
-                   n_clients=n_clients, config=config, profiles=profiles)
+                   n_clients=n_clients, config=config, profiles=profiles,
+                   event_capacity=event_capacity)
 
     @classmethod
     def zoned(cls, n_zones: int, nodes_per_zone: int, *,
@@ -452,7 +481,9 @@ class TopologySpec:
               start_reports: bool = True,
               checkpoint_interval_s: float = 2.0,
               top_committee_size: int | None = None,
-              profiles: "FleetMix | None" = None) -> "TopologySpec":
+              profiles: "FleetMix | None" = None,
+              workload: str = "objects",
+              event_capacity: int | None = None) -> "TopologySpec":
         """A hierarchical topology: *n_zones* equal cells in a row.
 
         The deployment area (default: a strip around the paper's Hong
@@ -473,13 +504,14 @@ class TopologySpec:
                      n_endorsers=endorsers_per_zone, region=cell.region,
                      fixed_fraction=fixed_fraction,
                      id_base=cell.index * ZONE_ID_STRIDE,
-                     profiles=profiles)
+                     profiles=profiles, workload=workload)
             for cell in grid
         )
         return cls(protocol="gpbft", zones=zones, seed=seed, config=config,
                    mode=mode, start_reports=start_reports,
                    checkpoint_interval_s=checkpoint_interval_s,
-                   top_committee_size=top_committee_size)
+                   top_committee_size=top_committee_size,
+                   event_capacity=event_capacity)
 
     # -- derived views -----------------------------------------------------
 
@@ -519,7 +551,8 @@ class TopologySpec:
             block_interval_s=self.block_interval_s,
             sybil_protection=self.sybil_protection,
             witness_range_m=self.witness_range_m,
-            checkpoint_interval_s=self.checkpoint_interval_s)
+            checkpoint_interval_s=self.checkpoint_interval_s,
+            event_capacity=self.event_capacity)
 
     def deployment_zone(self) -> ZoneSpec:
         """The sole zone of a single-zone gpbft topology."""

@@ -130,12 +130,26 @@ class EventLog:
     :meth:`subscribe` a callback that fires synchronously on every
     append; with no subscribers the append hot path pays one truthiness
     check.
+
+    Args:
+        capacity: when given, only the newest *capacity* events are
+            retained (older ones are dropped in append order).  Per-kind
+            :meth:`count` totals and :attr:`total_appended` stay exact
+            regardless -- the bound only limits what the query helpers
+            can still see.  Million-request aggregated runs set this so
+            the audit trail cannot dominate memory; the default keeps
+            the complete history.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 when given")
         self._events: list[Event] = []
         self._counts: dict[str, int] = {}
         self._subscribers: list[Callable[[Event], None]] = []
+        self._capacity = capacity
+        #: events ever appended (monotonic, immune to capacity eviction)
+        self.total_appended = 0
 
     def __len__(self) -> int:
         return len(self._events)
@@ -166,6 +180,12 @@ class EventLog:
             )
         self._events.append(event)
         self._counts[event.kind] = self._counts.get(event.kind, 0) + 1
+        self.total_appended += 1
+        capacity = self._capacity
+        if capacity is not None and len(self._events) > 2 * capacity:
+            # amortized ring: trim half the list at once so appends stay
+            # O(1) instead of shifting the whole list per event
+            del self._events[: len(self._events) - capacity]
         if self._subscribers:
             for callback in self._subscribers:
                 callback(event)

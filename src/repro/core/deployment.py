@@ -130,7 +130,8 @@ class GPBFTDeployment:
         self.network = SimulatedNetwork(
             self.sim, self.config.network, rng=DeterministicRNG(seed, "network")
         )
-        self.events = EventLog()
+        self.events = EventLog(
+            capacity=self.spec.event_capacity if self.spec is not None else None)
         self.obs = obs
         if obs is not None:
             obs.bind(self.sim, self.network)

@@ -264,7 +264,7 @@ class HierarchicalDeployment:
         self.obs = obs
         self.mode = spec.mode
         self.checkpoint_interval_s = spec.checkpoint_interval_s
-        self.events = EventLog()
+        self.events = EventLog(capacity=spec.event_capacity)
         self.zone_map = spec.zone_map()
 
         all_faults = dict(faults or {})

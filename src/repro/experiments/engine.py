@@ -33,7 +33,8 @@ from repro.common.errors import ConfigurationError
 DEFAULT_CACHE_DIR = Path("results") / "cache"
 
 #: Point kinds understood by :func:`run_point`.
-POINT_KINDS = ("latency", "traffic", "tps", "era-churn", "verify", "pack")
+POINT_KINDS = ("latency", "traffic", "tps", "era-churn", "verify", "pack",
+               "agg")
 
 #: Protocols understood by :func:`run_point` (era-churn is G-PBFT only).
 PROTOCOLS = ("pbft", "gpbft")
@@ -120,7 +121,8 @@ def run_point(spec: PointSpec) -> float | list[float] | dict:
     Returns:
         A list of per-transaction samples for latency points, a single
         float for traffic (KB), tps (tx/s) and era-churn (s) points,
-        and a result dict for verify (monitored schedule) points.
+        and a result dict for verify (monitored schedule) and agg
+        (aggregated city-scale day) points.
 
     Raises:
         ConfigurationError: when the (protocol, kind) pair is unknown.
@@ -151,6 +153,8 @@ def run_point(spec: PointSpec) -> float | list[float] | dict:
         ("gpbft", "verify"): lambda: verify_explorer._verify_point(
             n, spec.seed, **kwargs),
         ("gpbft", "pack"): lambda: workload_packs._pack_point(
+            n, spec.seed, **kwargs),
+        ("gpbft", "agg"): lambda: runner._gpbft_agg_point(
             n, spec.seed, **kwargs),
     }
     try:

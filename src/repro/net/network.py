@@ -27,7 +27,12 @@ from typing import Callable, Iterable
 from repro.common.config import NetworkConfig
 from repro.common.errors import NetworkError
 from repro.common.rng import DeterministicRNG
-from repro.net.latency import LatencyModel, UniformLatency
+from repro.net.latency import (
+    AffineLatencyMatrix,
+    LatencyModel,
+    PairwiseLatencyMatrix,
+    UniformLatency,
+)
 from repro.net.message import Envelope, Payload
 from repro.net.simulator import Simulator
 from repro.net.stats import TrafficStats
@@ -74,6 +79,12 @@ class SimulatedNetwork:
     ) -> None:
         self.sim = sim
         self.config = config or NetworkConfig()
+        # latency fast path (see refresh_latency_cache): the property
+        # setter below fills these from the model's matrix()
+        self._lat_affine = False
+        self._lat_base = 0.0
+        self._lat_jitter = 0.0
+        self._lat_pairs: dict[tuple[int, int], float] | None = None
         self.latency = latency or UniformLatency(
             self.config.base_latency_s, self.config.latency_jitter_s
         )
@@ -113,6 +124,37 @@ class SimulatedNetwork:
         self._cached_payload: Payload | None = None
         self._cached_kind: str = ""
         self._cached_size: int = 0
+
+    # -- latency fast path -------------------------------------------------
+
+    @property
+    def latency(self) -> LatencyModel:
+        """The propagation model; assigning one refreshes the fast path."""
+        return self._latency
+
+    @latency.setter
+    def latency(self, model: LatencyModel) -> None:
+        """Swap the propagation model and rebuild its fast-path cache."""
+        self._latency = model
+        self.refresh_latency_cache()
+
+    def refresh_latency_cache(self) -> None:
+        """Rebuild the precomputed latency matrix from the current model.
+
+        Called automatically whenever ``latency`` is assigned.  Call it
+        manually after mutating the model in place (e.g. rewriting
+        ``DistanceLatency.positions``) so cached per-pair delays cannot
+        go stale.
+        """
+        matrix = self._latency.matrix()
+        self._lat_affine = False
+        self._lat_pairs = None
+        if isinstance(matrix, AffineLatencyMatrix):
+            self._lat_affine = True
+            self._lat_base = matrix.base_s
+            self._lat_jitter = matrix.jitter_s
+        elif isinstance(matrix, PairwiseLatencyMatrix):
+            self._lat_pairs = matrix.table
 
     # -- membership -------------------------------------------------------
 
@@ -225,7 +267,24 @@ class SimulatedNetwork:
             self.stats.on_drop(kind)
             return
 
-        delay = self.latency.sample(src, dst, self.rng)
+        # latency fast path: affine models collapse to two floats and at
+        # most one draw; deterministic pairwise models to a table lookup.
+        # Both reproduce model.sample() bit-for-bit (same draws, same
+        # arithmetic), so schedules and fingerprints are unchanged.
+        if self._lat_affine:
+            jitter = self._lat_jitter
+            if jitter > 0.0:
+                delay = self._lat_base + jitter * float(self.rng.next_double())
+            else:
+                delay = self._lat_base
+        elif self._lat_pairs is not None:
+            key = (src, dst)
+            cached = self._lat_pairs.get(key)
+            if cached is None:
+                self._lat_pairs[key] = cached = self._latency.sample(src, dst, self.rng)
+            delay = cached
+        else:
+            delay = self._latency.sample(src, dst, self.rng)
         if self._bandwidth_bps > 0:
             # serialize through the sender's NIC before propagation: a
             # multicast of k messages leaves the sender one after another

@@ -4,27 +4,68 @@ A tiny, fast event loop: callbacks are scheduled at absolute simulated
 times and executed in (time, insertion-order) order, so runs are exactly
 reproducible.  All protocol code in this repository is written against
 this loop; nothing uses wall-clock time.
+
+Core v2 (million-request runs) replaces the flat binary heap with a
+two-tier structure that exploits the shape of consensus workloads:
+
+* **Same-timestamp buckets.**  Multicast fan-outs, zero-jitter links
+  and deterministic timers produce long runs of events at *identical*
+  times.  v1 paid ``heappush``/``heappop`` (O(log n) tuple comparisons)
+  per event; v2 keeps one bucket (an append-ordered list) per distinct
+  time and one float per bucket in the heap, so a k-way fan-out costs
+  one push plus k appends, and draining it is a plain list walk.
+* **Slotted far-timer tier.**  Homogeneous timer populations (client
+  retry timers at +600 s, duty-cycle wakeups, parked era timers) sit
+  far in the future and are usually cancelled before they fire.  v2
+  parks any event at least ``_FAR_HORIZON_S`` ahead in a coarse slot
+  keyed by ``int(time // _SLOT_WIDTH_S)`` -- an O(1) append that never
+  touches the near heap -- and promotes whole slots into the near tier
+  only when the clock approaches them.  Cancelled entries are dropped
+  wholesale at promotion time.
+
+Fire order is unchanged from v1 -- the global (time, insertion-seq)
+total order -- which the golden-fingerprint tests pin bit-for-bit.  The
+promotion invariant that makes the merge safe: slots are promoted
+*before* the next bucket begins draining, so a promoted event can never
+land in a bucket that already fired entries (promotion targets always
+have ``idx == 0``), and a seq-sort of the merged bucket restores the
+exact v1 order.
 """
 
 from __future__ import annotations
 
 import itertools
-from heapq import heapify, heappop, heappush
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from repro.common.errors import NetworkError
 
-#: Cancelled entries tolerated in the heap before compaction is even
-#: considered (avoids churning tiny heaps).
+#: Cancelled entries tolerated in the queue before compaction is even
+#: considered (avoids churning tiny queues).
 _COMPACT_MIN_CANCELLED = 64
+
+#: Events scheduled at least this far ahead of ``now`` go to the slotted
+#: far tier instead of the near heap.  Chosen above every hot-path
+#: network/protocol delay but below the retry/duty-cycle timer horizons
+#: that dominate churn.
+_FAR_HORIZON_S = 60.0
+
+#: Width of one far-tier slot in simulated seconds.  Promotion moves a
+#: whole slot at once, so the width bounds how many distinct times one
+#: promotion can push into the near heap.
+_SLOT_WIDTH_S = 32.0
+
+#: Times beyond this stay in the near tier: ``int(time // width)`` on
+#: astronomically large floats (or infinity) is not a usable slot key.
+_MAX_FAR_TIME_S = 1e15
 
 
 class ScheduledEvent:
     """Handle to a scheduled callback; supports cancellation.
 
-    The heap itself stores ``(time, seq, event)`` tuples so ordering
-    comparisons run in C (profiled: a Python ``__lt__`` here cost ~17%
-    of total simulation time at n = 202).
+    Plain ``__slots__`` records: ordering lives in the simulator's
+    bucket/slot structures, not in event comparisons (profiled in v1: a
+    Python ``__lt__`` cost ~17% of total simulation time at n = 202).
     """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
@@ -43,7 +84,7 @@ class ScheduledEvent:
         self.args = args
         self.cancelled = False
         # backref for live-event accounting; cleared when the event
-        # leaves the heap so late cancels cannot skew the counter
+        # leaves the queue so late cancels cannot skew the counter
         self._sim = sim
 
     def cancel(self) -> None:
@@ -55,8 +96,36 @@ class ScheduledEvent:
             self._sim._note_cancel()
 
 
+class _Bucket:
+    """All not-yet-fired events sharing one scheduled time.
+
+    ``events[:idx]`` already fired (or were skipped as cancelled);
+    ``events[idx:]`` is the live tail in insertion-seq order.
+
+    Buckets only exist for *collisions*: a time with a single queued
+    event stores the :class:`ScheduledEvent` directly in the bucket map
+    and is upgraded here when a second event lands on the same
+    timestamp.  Distinct timestamps are the overwhelmingly common case
+    (jittered latencies rarely collide), so the singleton fast path
+    skips two allocations per scheduled event.
+    """
+
+    __slots__ = ("events", "idx")
+
+    def __init__(self) -> None:
+        self.events: list[ScheduledEvent] = []
+        self.idx = 0
+
+
+#: Shared tombstone for compacted singleton times: keeps the heap entry
+#: valid without allocating a bucket per cancelled event.  Never
+#: mutated -- every enqueue path replaces it before appending, and the
+#: drain loops only read ``events``/``idx`` before popping it.
+_EMPTY_BUCKET = _Bucket()
+
+
 class Simulator:
-    """Priority-queue event loop over simulated seconds.
+    """Bucketed event loop over simulated seconds.
 
     Example::
 
@@ -67,12 +136,20 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, ScheduledEvent]] = []
+        # near tier: heap of distinct times; the map holds a bare
+        # ScheduledEvent per singleton time, upgraded to a _Bucket on
+        # timestamp collision
+        self._buckets: dict[float, _Bucket | ScheduledEvent] = {}
+        self._near_heap: list[float] = []
+        # far tier: coarse slots of distant timers, heap of slot keys
+        self._slots: dict[int, list[ScheduledEvent]] = {}
+        self._slot_heap: list[int] = []
         self._counter = itertools.count()
         self._events_processed = 0
         self._step_hook: Callable[[ScheduledEvent], None] | None = None
-        # cancelled events still sitting in the heap; kept exact so
-        # ``pending`` is O(1) and compaction can trigger lazily
+        # exact totals so ``pending``/``heap_size`` stay O(1): entries
+        # still queued (live + cancelled) and the cancelled subset
+        self._queued = 0
         self._cancelled = 0
 
     @property
@@ -88,12 +165,45 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of scheduled, not-yet-fired, not-cancelled events."""
-        return len(self._heap) - self._cancelled
+        return self._queued - self._cancelled
 
     @property
     def heap_size(self) -> int:
-        """Raw heap length including cancelled entries (test/diagnostic)."""
-        return len(self._heap)
+        """Queued entries including cancelled ones (test/diagnostic)."""
+        return self._queued
+
+    def _enqueue(self, event: ScheduledEvent) -> ScheduledEvent:
+        """Route *event* to the near buckets or the far slot tier."""
+        time = event.time
+        if time - self._now >= _FAR_HORIZON_S and time < _MAX_FAR_TIME_S:
+            key = int(time // _SLOT_WIDTH_S)
+            slot = self._slots.get(key)
+            if slot is None:
+                self._slots[key] = slot = []
+                heappush(self._slot_heap, key)
+            slot.append(event)
+        else:
+            buckets = self._buckets
+            cur = buckets.get(time)
+            if cur is None:
+                buckets[time] = event
+                heappush(self._near_heap, time)
+            elif type(cur) is _Bucket:
+                if cur is _EMPTY_BUCKET:
+                    # compacted tombstone: resurrect as a singleton
+                    # (its heap entry is still queued)
+                    buckets[time] = event
+                else:
+                    cur.events.append(event)
+            else:
+                # second event on this timestamp: upgrade the singleton
+                # (it was enqueued first, so it keeps seq order)
+                bucket = _Bucket()
+                bucket.events.append(cur)
+                bucket.events.append(event)
+                buckets[time] = bucket
+        self._queued += 1
+        return event
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Schedule *callback(args)* to run *delay* seconds from now.
@@ -103,31 +213,122 @@ class Simulator:
         """
         if delay < 0:
             raise NetworkError(f"cannot schedule in the past (delay={delay})")
+        # _enqueue's near path is open-coded here: schedule() runs once
+        # per simulated message and the call indirection is measurable
+        # in sim.event_churn; the logic must stay identical to _enqueue
         event = ScheduledEvent(self._now + delay, next(self._counter), callback, args, self)
-        heappush(self._heap, (event.time, event.seq, event))
+        time = event.time
+        if time - self._now >= _FAR_HORIZON_S and time < _MAX_FAR_TIME_S:
+            return self._enqueue(event)
+        buckets = self._buckets
+        cur = buckets.get(time)
+        if cur is None:
+            buckets[time] = event
+            heappush(self._near_heap, time)
+        elif type(cur) is _Bucket:
+            if cur is _EMPTY_BUCKET:
+                buckets[time] = event
+            else:
+                cur.events.append(event)
+        else:
+            bucket = _Bucket()
+            bucket.events.append(cur)
+            bucket.events.append(event)
+            buckets[time] = bucket
+        self._queued += 1
         return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Schedule *callback(args)* at absolute simulated *time*."""
         if time < self._now:
             raise NetworkError(f"cannot schedule at {time} < now {self._now}")
-        event = ScheduledEvent(time, next(self._counter), callback, args, self)
-        heappush(self._heap, (event.time, event.seq, event))
-        return event
+        return self._enqueue(
+            ScheduledEvent(time, next(self._counter), callback, args, self))
+
+    def _promotion_due(self) -> bool:
+        """True when the earliest far slot may precede the near minimum."""
+        if not self._slot_heap:
+            return False
+        if not self._near_heap:
+            return True
+        return self._slot_heap[0] * _SLOT_WIDTH_S <= self._near_heap[0]
+
+    def _promote_due_slots(self) -> None:
+        """Move every due far slot into the near buckets.
+
+        Runs before the next bucket is selected, which guarantees every
+        merge target still has ``idx == 0`` (no bucket that partially
+        fired can receive promoted events): a slot whose start does not
+        exceed a bucket's time is always promoted before that bucket
+        drains, and a slot with a later start cannot contain its time.
+        Merged buckets are re-sorted by insertion seq, restoring the
+        global (time, seq) fire order exactly.
+        """
+        buckets, near_heap = self._buckets, self._near_heap
+        slot_heap = self._slot_heap
+        while slot_heap and (not near_heap or slot_heap[0] * _SLOT_WIDTH_S <= near_heap[0]):
+            key = heappop(slot_heap)
+            merged: list[_Bucket] = []
+            for event in self._slots.pop(key):
+                if event.cancelled:
+                    # natural cleanup point: cancelled far timers (the
+                    # common case for retries) never reach the near tier
+                    self._queued -= 1
+                    self._cancelled -= 1
+                    continue
+                cur = buckets.get(event.time)
+                if cur is None:
+                    buckets[event.time] = event
+                    heappush(near_heap, event.time)
+                    continue
+                if cur is _EMPTY_BUCKET:
+                    buckets[event.time] = event
+                    continue
+                if type(cur) is _Bucket:
+                    bucket = cur
+                else:
+                    bucket = _Bucket()
+                    bucket.events.append(cur)
+                    buckets[event.time] = bucket
+                if bucket.events and bucket not in merged:
+                    merged.append(bucket)
+                bucket.events.append(event)
+            for bucket in merged:
+                bucket.events.sort(key=_event_seq)
 
     def _note_cancel(self) -> None:
-        """A live heap entry was cancelled; compact when mostly dead.
+        """A live queue entry was cancelled; compact when mostly dead.
 
-        Compaction rebuilds the heap from the surviving entries and
-        re-heapifies.  The (time, seq) total order makes the rebuilt
-        heap pop in exactly the original order, so determinism holds.
+        Compaction filters cancelled entries out of every live bucket
+        tail and far slot in place.  Fired prefixes and drain indices
+        are untouched, so determinism holds.
         """
         self._cancelled += 1
-        if self._cancelled > _COMPACT_MIN_CANCELLED and self._cancelled * 2 > len(self._heap):
-            # in-place so run loops holding a local alias stay coherent
-            self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
-            heapify(self._heap)
-            self._cancelled = 0
+        if self._cancelled > _COMPACT_MIN_CANCELLED and self._cancelled * 2 > self._queued:
+            removed = 0
+            for time, cur in self._buckets.items():  # gpb: allow GPB003 -- order-free in-place filter; each bucket is compacted independently and fire order is untouched
+                if type(cur) is not _Bucket:
+                    if cur.cancelled:
+                        # value replacement keeps the heap entry valid;
+                        # the drain loop pops the empty sentinel (both
+                        # collision paths replace it before appending)
+                        self._buckets[time] = _EMPTY_BUCKET
+                        removed += 1
+                    continue
+                if cur is _EMPTY_BUCKET:
+                    continue
+                idx = cur.idx
+                events = cur.events
+                live = [e for e in events[idx:] if not e.cancelled]
+                removed += len(events) - idx - len(live)
+                # in-place so drain loops holding a local alias stay coherent
+                events[idx:] = live
+            for slot in self._slots.values():  # gpb: allow GPB003 -- order-free in-place filter; slot-internal order is preserved and promotion re-sorts by seq
+                live = [e for e in slot if not e.cancelled]
+                removed += len(slot) - len(live)
+                slot[:] = live
+            self._queued -= removed
+            self._cancelled -= removed
 
     def set_step_hook(self, hook: Callable[[ScheduledEvent], None] | None) -> None:
         """Observe every fired event (``None`` detaches).
@@ -142,20 +343,38 @@ class Simulator:
 
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
-        heap = self._heap
-        while heap:
-            _, _, event = heappop(heap)
+        buckets, near_heap = self._buckets, self._near_heap
+        while True:
+            if self._promotion_due():
+                self._promote_due_slots()
+            if not near_heap:
+                return False
+            time = near_heap[0]
+            cur = buckets[time]
+            if type(cur) is not _Bucket:
+                # singleton fast path: the dict entry is the event
+                heappop(near_heap)
+                del buckets[time]
+                event = cur
+            else:
+                idx = cur.idx
+                if idx >= len(cur.events):
+                    heappop(near_heap)
+                    del buckets[time]
+                    continue
+                event = cur.events[idx]
+                cur.idx = idx + 1
+            self._queued -= 1
             if event.cancelled:
                 self._cancelled -= 1
                 continue
             event._sim = None
-            self._now = event.time
+            self._now = time
             self._events_processed += 1
             if self._step_hook is not None:
                 self._step_hook(event)
             event.callback(*event.args)
             return True
-        return False
 
     def export_instruments(self, registry: Any) -> None:
         """Record loop-level gauges into an observability *registry*.
@@ -175,29 +394,62 @@ class Simulator:
         When stopping at *until*, the clock is advanced to exactly
         *until* (events scheduled beyond it remain queued).
         """
-        # step() is inlined below: the loop peeks heap[0] for the stop
-        # checks anyway, so popping directly avoids a second peek and a
-        # method call per event (this loop is the simulation's spine)
+        # the inner loop walks one bucket as a plain list; the per-event
+        # cost is an index bump and a couple of attribute stores (this
+        # loop is the simulation's spine)
         fired = 0
-        heap = self._heap
-        while heap:
-            if max_events is not None and fired >= max_events:
-                return fired
-            nxt_time, _, nxt = heap[0]
-            if nxt.cancelled:
-                heappop(heap)
-                self._cancelled -= 1
-                continue
-            if until is not None and nxt_time > until:
+        buckets, near_heap = self._buckets, self._near_heap
+        slot_heap = self._slot_heap
+        while True:
+            if slot_heap and (not near_heap or slot_heap[0] * _SLOT_WIDTH_S <= near_heap[0]):
+                self._promote_due_slots()
+            if not near_heap:
                 break
-            heappop(heap)
-            nxt._sim = None
-            self._now = nxt_time
-            self._events_processed += 1
-            if self._step_hook is not None:
-                self._step_hook(nxt)
-            nxt.callback(*nxt.args)
-            fired += 1
+            time = near_heap[0]
+            if until is not None and time > until:
+                break
+            bucket = buckets[time]
+            if type(bucket) is not _Bucket:
+                # singleton fast path: the dict entry is the event
+                if max_events is not None and fired >= max_events:
+                    return fired
+                heappop(near_heap)
+                del buckets[time]
+                self._queued -= 1
+                if bucket.cancelled:
+                    self._cancelled -= 1
+                    continue
+                bucket._sim = None
+                self._now = time
+                self._events_processed += 1
+                if self._step_hook is not None:
+                    self._step_hook(bucket)
+                bucket.callback(*bucket.args)
+                fired += 1
+                continue
+            events = bucket.events
+            idx = bucket.idx
+            while True:
+                if idx >= len(events):
+                    heappop(near_heap)
+                    del buckets[time]
+                    break
+                if max_events is not None and fired >= max_events:
+                    return fired
+                event = events[idx]
+                idx += 1
+                bucket.idx = idx
+                self._queued -= 1
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                event._sim = None
+                self._now = time
+                self._events_processed += 1
+                if self._step_hook is not None:
+                    self._step_hook(event)
+                event.callback(*event.args)
+                fired += 1
         if until is not None and until > self._now:
             self._now = until
         return fired
@@ -219,26 +471,65 @@ class Simulator:
         Returns:
             True iff the condition was met.
         """
-        # step() inlined as in run(): the cancelled-drain already leaves
-        # a live event at heap[0], so it can be popped and fired directly
         fired = 0
-        heap = self._heap
-        while not done():
-            if max_events is not None and fired >= max_events:
+        buckets, near_heap = self._buckets, self._near_heap
+        slot_heap = self._slot_heap
+        while True:
+            if slot_heap and (not near_heap or slot_heap[0] * _SLOT_WIDTH_S <= near_heap[0]):
+                self._promote_due_slots()
+            if done():
+                return True
+            if not near_heap:
                 return False
-            while heap and heap[0][2].cancelled:
-                heappop(heap)
-                self._cancelled -= 1
-            if not heap:
+            time = near_heap[0]
+            if horizon is not None and time > horizon:
                 return False
-            if horizon is not None and heap[0][0] > horizon:
-                return False
-            _, _, event = heappop(heap)
-            event._sim = None
-            self._now = event.time
-            self._events_processed += 1
-            if self._step_hook is not None:
-                self._step_hook(event)
-            event.callback(*event.args)
-            fired += 1
-        return True
+            bucket = buckets[time]
+            if type(bucket) is not _Bucket:
+                # singleton fast path: the dict entry is the event
+                if max_events is not None and fired >= max_events:
+                    return done()
+                heappop(near_heap)
+                del buckets[time]
+                self._queued -= 1
+                if bucket.cancelled:
+                    self._cancelled -= 1
+                    continue
+                bucket._sim = None
+                self._now = time
+                self._events_processed += 1
+                if self._step_hook is not None:
+                    self._step_hook(bucket)
+                bucket.callback(*bucket.args)
+                fired += 1
+                continue
+            events = bucket.events
+            idx = bucket.idx
+            while True:
+                if idx >= len(events):
+                    heappop(near_heap)
+                    del buckets[time]
+                    break
+                if max_events is not None and fired >= max_events:
+                    return done()
+                event = events[idx]
+                idx += 1
+                bucket.idx = idx
+                self._queued -= 1
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                event._sim = None
+                self._now = time
+                self._events_processed += 1
+                if self._step_hook is not None:
+                    self._step_hook(event)
+                event.callback(*event.args)
+                fired += 1
+                if done():
+                    return True
+
+
+def _event_seq(event: ScheduledEvent) -> int:
+    """Sort key restoring insertion order in promotion-merged buckets."""
+    return event.seq

@@ -29,6 +29,12 @@ if TYPE_CHECKING:
 
 SendFn = Callable[[int, object], None]
 
+#: Completed-latency entries kept per client before the oldest are
+#: evicted (GPB015 bound convention).  Far above any per-client request
+#: count in the tests and experiment sweeps; million-request aggregated
+#: runs rely on the eviction to keep client memory flat.
+COMPLETED_BOUND = 100_000
+
 
 @dataclass
 class _PendingRequest:
@@ -36,7 +42,7 @@ class _PendingRequest:
     replies: dict[bytes, set[int]] = field(default_factory=dict)
     timer: ScheduledEvent | None = None
     completed: bool = False
-    broadcasted: bool = False
+    retries: int = 0
 
 
 class PBFTClient:
@@ -84,6 +90,14 @@ class PBFTClient:
         self._pending: dict[str, _PendingRequest] = {}
         self._submit_times: dict[str, float] = {}
         self.completed: dict[str, float] = {}  # request_id -> latency seconds
+        #: eviction bound for ``completed``; replay dedup only needs to
+        #: cover requests that could still be legitimately resubmitted,
+        #: so points that pump millions of fresh ops through a small
+        #: client pool may lower this well below the default
+        self.completed_bound = COMPLETED_BOUND
+        #: total requests ever completed (monotonic; unlike
+        #: ``len(completed)`` it is immune to bound eviction)
+        self.completed_count = 0
 
     @property
     def believed_primary(self) -> int:
@@ -128,8 +142,15 @@ class PBFTClient:
             if entry.timer is not None:
                 entry.timer.cancel()
             rid = reply.request_id
-            latency = self.sim.now - self._submit_times[rid]
+            # pop, not read: a completed request's submit time would
+            # otherwise leak forever (one float per request served)
+            latency = self.sim.now - self._submit_times.pop(rid)
             self.completed[rid] = latency
+            self.completed_count += 1
+            if len(self.completed) > self.completed_bound:
+                # evict the oldest entry (dicts preserve insertion
+                # order); long runs read latencies via on_complete
+                del self.completed[next(iter(self.completed))]
             del self._pending[rid]
             if self.events is not None:
                 self.events.record(
@@ -149,10 +170,17 @@ class PBFTClient:
         if entry is None or entry.completed:
             return
         # broadcast so backups forward to the primary and arm timers
-        entry.broadcasted = True
+        entry.retries += 1
         for replica in self.committee:
             self._send(replica, entry.request)
-        entry.timer = self.sim.schedule(self.config.request_retry_timeout_s, self._retry, rid)
+        timeout = self.config.request_retry_timeout_s
+        factor = self.config.retry_backoff_factor
+        if factor != 1.0:  # gpb: allow GPB004 -- 1.0 is the exact no-backoff sentinel from config, never the result of arithmetic
+            # exponential backoff up to the configured ceiling; the
+            # default factor of 1.0 skips this branch entirely, keeping
+            # the constant retransmission schedule bit-identical
+            timeout = min(timeout * factor**entry.retries, self.config.retry_backoff_max_s)
+        entry.timer = self.sim.schedule(timeout, self._retry, rid)
 
     @property
     def outstanding(self) -> int:

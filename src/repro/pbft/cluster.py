@@ -29,15 +29,30 @@ if TYPE_CHECKING:
     from repro.obs.core import Observability
 
 
+#: Executed (seq, op_id) records kept per replica before the oldest are
+#: trimmed (GPB015 bound convention).  The rolling state digest is
+#: unaffected; only ``committed_ops`` queries lose sight of the trimmed
+#: prefix, far beyond what any test or sweep inspects.  Million-request
+#: aggregated runs rely on the trim to keep executor memory flat.
+_EXECUTED_OPS_BOUND = 50_000
+
+
 class _ExecutedLog:
-    """Minimal deterministic executor: an append-only op log + digest."""
+    """Minimal deterministic executor: a bounded op log + rolling digest."""
 
     def __init__(self) -> None:
         self.ops: list[tuple[int, str]] = []
+        #: per-instance trim bound; day-long aggregated points lower it
+        #: so executor memory plateaus well before the default would
+        self.bound = _EXECUTED_OPS_BOUND
         self._digest = sha256(b"exec-log")
 
     def execute(self, op, seq: int, view: int) -> bytes:
         self.ops.append((seq, op.op_id))
+        if len(self.ops) > 2 * self.bound:
+            # amortized trim: drop the oldest half in one slice so the
+            # per-execute cost stays O(1)
+            del self.ops[: len(self.ops) - self.bound]
         self._digest = sha256(self._digest + op.signing_bytes())
         return self._digest
 
@@ -99,7 +114,8 @@ class PBFTCluster:
         self.config = config or GPBFTConfig()
         self.sim = sim or Simulator()
         self.network = SimulatedNetwork(self.sim, self.config.network)
-        self.events = EventLog()
+        self.events = EventLog(
+            capacity=self.spec.event_capacity if self.spec is not None else None)
         self.obs = obs
         if obs is not None:
             obs.bind(self.sim, self.network)

@@ -529,6 +529,13 @@ class PBFTReplica:
                 self._executed_requests.pop(rid, None)
                 keep_from = index + 1
             del self._executed_order[:keep_from]
+            # assignment memory ages out with the same argument: every
+            # assigned seq <= the stable checkpoint has been executed
+            # (execution is gap-free in seq order), so only in-flight
+            # assignments stay and the map is bounded by the window
+            for rid in [r for r, s in self._assigned.items()
+                        if s <= msg.seq]:
+                del self._assigned[rid]
             if self.last_executed < msg.seq:
                 # we fell behind the stable checkpoint (crash/partition):
                 # fetch a peer's state instead of replaying the log

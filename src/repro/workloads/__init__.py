@@ -11,6 +11,9 @@ scenes into reproducible simulation inputs:
   GPS jitter, random waypoint) that drive mobile nodes on the simulator;
 * :mod:`repro.workloads.arrivals` -- transaction arrival processes
   (constant-rate per node, Poisson) used by the latency experiments;
+* :mod:`repro.workloads.streams` -- aggregated per-zone arrival streams
+  (rate profiles + thinning, plus a draw-for-draw exact equivalence
+  mode) that make million-request city-scale runs tractable;
 * :mod:`repro.workloads.scenarios` -- packaged end-to-end scenes
   (smart-city car monitoring, parking-lot payments, RFID asset
   tracking);
@@ -25,6 +28,17 @@ scenes into reproducible simulation inputs:
 from repro.workloads.fleet import FleetSpec, grid_positions, scatter_positions
 from repro.workloads.mobility import StationaryModel, RandomWaypointModel, MobilityDriver
 from repro.workloads.arrivals import ConstantRateArrivals, PoissonArrivals, ArrivalProcess
+from repro.workloads.streams import (
+    AggregatedArrivals,
+    DiurnalWave,
+    ExactAggregatedArrivals,
+    FlashCrowdBurst,
+    PoissonSuperposition,
+    RateProfile,
+    constant_delay,
+    poisson_delay,
+    schedule_fingerprint,
+)
 from repro.workloads.scenarios import (
     smart_city_scenario,
     parking_lot_scenario,
@@ -74,6 +88,15 @@ __all__ = [
     "ConstantRateArrivals",
     "PoissonArrivals",
     "ArrivalProcess",
+    "AggregatedArrivals",
+    "DiurnalWave",
+    "ExactAggregatedArrivals",
+    "FlashCrowdBurst",
+    "PoissonSuperposition",
+    "RateProfile",
+    "constant_delay",
+    "poisson_delay",
+    "schedule_fingerprint",
     "smart_city_scenario",
     "parking_lot_scenario",
     "asset_tracking_scenario",
