@@ -78,8 +78,15 @@ packs-smoke:
 trace-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.obs capture --protocol gpbft \
 		-n 10 --submissions 5 --seed 7 --horizon 40 --era-switch-at 8 \
-		--trace trace.json --spans spans.jsonl --report
+		--trace trace.json --spans spans.jsonl --report \
+		--dump-dir dumps --dump
 	PYTHONPATH=src $(PYTHON) -m repro.obs validate trace.json
+	test -s dumps/flight-000-on-demand.json
+	PYTHONPATH=src $(PYTHON) -m repro.experiments agg --requests 2000 \
+		--zones 4 --duration 600 --seed 7 --timeseries --window 60 \
+		--frames frames-agg.jsonl --sample-rate 0.25 --flight-recorder
+	test -s frames-agg.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.obs validate frames-agg.jsonl
 
 # every table and figure, quick profile, text + SVG under results/
 figures:

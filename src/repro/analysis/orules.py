@@ -1,4 +1,4 @@
-"""Observability rules: event-kind vocabulary and span-body hygiene.
+"""Observability rules: event vocabulary, span hygiene, bounded growth.
 
 The event-kind vocabulary lives as ``EV_*`` constants in
 ``repro/common/eventlog.py`` (satellite of the observability layer);
@@ -14,6 +14,11 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Iterator
 
+from repro.analysis.dataflow import (
+    classes_of,
+    collection_attributes,
+    has_bound_evidence,
+)
 from repro.analysis.findings import Finding
 from repro.analysis.rules import Module, Project, Rule, call_name, in_package
 
@@ -146,6 +151,111 @@ class EventVocabularyRule(Rule):
                 )
 
 
+#: ``self.<attr>.<method>(...)`` calls that grow a collection.
+_GROW_METHODS = frozenset({"append", "appendleft", "extend", "extendleft"})
+
+
+def _maxlen_attributes(cls: ast.ClassDef) -> set[str]:
+    """Attributes initialized as ``deque(maxlen=...)`` anywhere in *cls*.
+
+    A maxlen'd deque is a ring: appends displace instead of grow, so
+    these attributes are bounded by construction and exempt from
+    GPB016 -- which is exactly the property the rule machine-checks,
+    because deleting the ``maxlen`` keyword turns the attribute back
+    into a flagged plain container.
+    """
+    names: set[str] = set()
+    for node in ast.walk(cls):
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+        value = getattr(node, "value", None)
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and isinstance(value, ast.Call)
+            and call_name(value).rsplit(".", 1)[-1] == "deque"
+            and any(kw.arg == "maxlen" for kw in value.keywords)
+        ):
+            names.add(target.attr)
+    return names
+
+
+class UnboundedObsGrowthRule(Rule):
+    """Observability-layer collections must be visibly bounded.
+
+    The v2 observability pipeline exists so million-request runs hold
+    O(windows) memory, which makes ``repro.obs`` itself the worst
+    place for an unbounded ``append``: a buffer that grows per event
+    or per request silently re-introduces the O(run-length) footprint
+    the pipeline was built to remove -- and it does so only at city
+    scale, where the OOM arrives hours in.
+
+    The rule flags ``self.<attr>.append/extend(...)`` inside any
+    ``repro.obs`` class when *attr* is a plain container and the class
+    shows no bound evidence (a ``pop``/``clear``/``remove`` call, a
+    ``del self.attr[...]``, a re-slicing assignment, a ``len()``
+    capacity guard, or a drain-reset).  Attributes built as
+    ``deque(maxlen=...)`` -- the flight-recorder rings, the frames
+    tail -- are bounded by construction and exempt, so removing a
+    ``maxlen`` is caught the moment it happens.  Legitimately
+    capture-scoped buffers (the v1 span list) carry an inline allow
+    naming that contract.
+    """
+
+    rule_id = "GPB016"
+    title = "no unbounded collection growth inside the observability layer"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        """Flag evidence-free container growth in ``repro.obs`` classes."""
+        for rel in sorted(project.modules):
+            module = project.modules[rel]
+            if not in_package(module, "obs"):
+                continue
+            for cls in classes_of(module):
+                yield from self._check_class(module, cls)
+
+    def _check_class(self, module: Module,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        containers = collection_attributes(cls) - _maxlen_attributes(cls)
+        if not containers:
+            return
+        bounded: dict[str, bool] = {}
+        for node in ast.walk(cls):
+            attr = self._grown_attribute(node)
+            if attr is None or attr not in containers:
+                continue
+            if attr not in bounded:
+                bounded[attr] = has_bound_evidence(cls, attr)
+            if not bounded[attr]:
+                yield self.finding(
+                    module, node,
+                    f"self.{attr} grows without a visible bound in "
+                    f"observability class {cls.name}; ring it "
+                    "(deque(maxlen=...)), prune it, or justify the "
+                    "capture-scoped contract",
+                )
+
+    @staticmethod
+    def _grown_attribute(node: ast.AST) -> str | None:
+        """The attr name in ``self.<attr>.append/extend(...)``, or None."""
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _GROW_METHODS
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "self"
+        ):
+            return func.value.attr
+        return None
+
+
 def observability_rules() -> list[Rule]:
-    """The observability rule set (GPB009)."""
-    return [EventVocabularyRule()]
+    """The observability rule set (GPB009, GPB016)."""
+    return [EventVocabularyRule(), UnboundedObsGrowthRule()]

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import dataclasses
 import io
 import pstats
 import sys
@@ -81,11 +82,16 @@ def _profile_benchmark(bench, top_n: int) -> None:
 def _peak_rss_mb() -> float:
     """Peak resident set size of this process so far, in MiB.
 
-    Recorded as the ``sim.peak_rss_mb`` gauge next to the timings:
-    million-request aggregated runs are memory-bound long before they
+    Million-request aggregated runs are memory-bound long before they
     are CPU-bound, so a bench report without the high-water mark hides
-    the regression that matters most.  ``ru_maxrss`` is kilobytes on
-    Linux and bytes on macOS.
+    the regression that matters most.  ``ru_maxrss`` is a process-wide
+    high-water mark (kilobytes on Linux, bytes on macOS), so one
+    suite-end reading inherits the max of whatever ran earlier; the
+    CLI therefore brackets every benchmark with a before/after pair
+    (``rss_before_mb`` / ``rss_after_mb`` on each result) and labels
+    the suite-wide gauge ``sim.peak_rss_suite_mb`` explicitly.  A
+    benchmark's own standalone peak is only visible when it pushes the
+    mark (``after > before``); otherwise run it alone.
     """
     import resource
 
@@ -101,16 +107,22 @@ def _instrument_snapshot() -> dict:
     One small instrumented G-PBFT run (n=10); its quorum-wait and
     traffic instruments give a bench report the "where does the time
     go" context that raw wall-clock numbers lack (see
-    docs/observability.md).
+    docs/observability.md).  The run also aggregates 5 s time-series
+    windows, embedded as ``windows`` so the report carries a small
+    time-resolved commit/latency profile, not just run totals.
     """
     from repro.obs.capture import capture_run
+    from repro.obs.obsconfig import ObsConfig
 
     capture = capture_run(protocol="gpbft", n=10, submissions=4,
-                          seed=0, horizon_s=30.0)
+                          seed=0, horizon_s=30.0,
+                          obs_config=ObsConfig(timeseries=True, window_s=5.0))
+    ts = capture.obs.timeseries
     return {
         "scenario": {"protocol": "gpbft", "n": 10, "submissions": 4,
-                     "seed": 0, "horizon_s": 30.0},
+                     "seed": 0, "horizon_s": 30.0, "window_s": 5.0},
         "snapshot": capture.snapshot(),
+        "windows": list(ts.frames_tail) if ts is not None else [],
     }
 
 
@@ -136,7 +148,13 @@ def main(argv: list[str] | None = None) -> int:
 
         results = []
         for bench in picked:
+            rss_before = _peak_rss_mb()
             result = time_benchmark(bench, repeats=args.repeat)
+            result = dataclasses.replace(
+                result,
+                rss_before_mb=round(rss_before, 1),
+                rss_after_mb=round(_peak_rss_mb(), 1),
+            )
             results.append(result)
             print(f"  {result.name:32s}  best {result.best_s * 1e3:10.3f} ms"
                   f"  ({result.per_op_s * 1e6:9.3f} us/op,"
@@ -145,7 +163,10 @@ def main(argv: list[str] | None = None) -> int:
         profile = "quick" if args.quick else "full"
         report = build_report(results, profile)
         report["instruments"] = _instrument_snapshot()
-        report["gauges"] = {"sim.peak_rss_mb": round(_peak_rss_mb(), 1)}
+        # suite-wide by construction: the process high-water mark after
+        # every selected benchmark ran (per-point peaks live in each
+        # result's rss_before_mb/rss_after_mb bracket)
+        report["gauges"] = {"sim.peak_rss_suite_mb": round(_peak_rss_mb(), 1)}
         written = write_report(report, args.out, merge=not args.no_merge)
         print(f"wrote {args.out} ({len(written['benchmarks'])} benchmarks)")
 

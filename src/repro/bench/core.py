@@ -62,7 +62,15 @@ class Benchmark:
 
 @dataclass(frozen=True, slots=True)
 class BenchResult:
-    """Measured outcome of one benchmark."""
+    """Measured outcome of one benchmark.
+
+    ``rss_before_mb`` / ``rss_after_mb`` bracket the process peak RSS
+    around this one benchmark (attached by the CLI loop, ``None`` when
+    not measured).  ``ru_maxrss`` is a process-wide high-water mark, so
+    the pair is the honest per-point signal: ``after`` grew past
+    ``before`` iff *this* benchmark set a new process peak -- a point
+    that merely inherits an earlier peak shows ``after == before``.
+    """
 
     name: str
     best_s: float
@@ -70,16 +78,23 @@ class BenchResult:
     ops: int
     repeats: int
     warmup: int
+    rss_before_mb: float | None = None
+    rss_after_mb: float | None = None
 
     def to_json(self) -> dict:
         """Plain-JSON form of this result (one report entry)."""
-        return {
+        row = {
             "best_s": self.best_s,
             "per_op_s": self.per_op_s,
             "ops": self.ops,
             "repeats": self.repeats,
             "warmup": self.warmup,
         }
+        if self.rss_before_mb is not None:
+            row["rss_before_mb"] = self.rss_before_mb
+        if self.rss_after_mb is not None:
+            row["rss_after_mb"] = self.rss_after_mb
+        return row
 
 
 #: The global registry: name -> Benchmark, in registration order.

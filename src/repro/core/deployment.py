@@ -142,6 +142,8 @@ class GPBFTDeployment:
             from repro.verify.invariants import MonitorHarness
 
             self.monitors = MonitorHarness(self, self.config.verify)
+        if obs is not None:
+            obs.attach_host(self)
 
         # -- placement -------------------------------------------------------
         placement = self.rng.fork("placement")

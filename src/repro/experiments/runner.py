@@ -211,11 +211,67 @@ def _gpbft_latency_point(
     return sample
 
 
-def _pbft_traffic_point(n: int, seed: int = 0) -> float:
+def _obs_from_params(
+    timeseries: bool | None = None,
+    window_s: float | None = None,
+    frames_path: str | None = None,
+    sample_rate: float | None = None,
+    flight_recorder: bool | None = None,
+    dump_dir: str | None = None,
+    heartbeat_s: float | None = None,
+):
+    """An :class:`~repro.obs.Observability` from sparse point params.
+
+    Every parameter defaults to ``None`` so
+    :meth:`~repro.experiments.engine.PointSpec.make` drops them from
+    the cache key: a point that never mentions observability keeps the
+    exact golden fingerprint it had before v2 existed.  Returns
+    ``None`` (observability fully absent) when no param is given.
+    """
+    params = (timeseries, window_s, frames_path, sample_rate,
+              flight_recorder, dump_dir, heartbeat_s)
+    if all(p is None for p in params):
+        return None
+    from repro.obs import ObsConfig, Observability
+
+    return Observability(ObsConfig(
+        window_s=window_s if window_s is not None else 60.0,
+        timeseries=bool(timeseries),
+        frames_path=frames_path,
+        sample_rate=sample_rate if sample_rate is not None else 1.0,
+        flight_recorder=bool(flight_recorder),
+        dump_dir=dump_dir,
+        heartbeat_s=heartbeat_s,
+    ))
+
+
+def _obs_result(obs) -> dict:
+    """Deterministic summary of one point's observability output."""
+    summary: dict = {"spans": len(obs.tracer.spans)}
+    if obs.timeseries is not None:
+        summary["frames_written"] = obs.timeseries.frames_written
+    if obs.flight is not None:
+        summary["dumps"] = len(obs.flight.dumps)
+    return summary
+
+
+def _pbft_traffic_point(
+    n: int,
+    seed: int = 0,
+    timeseries: bool | None = None,
+    window_s: float | None = None,
+    frames_path: str | None = None,
+    sample_rate: float | None = None,
+    flight_recorder: bool | None = None,
+    dump_dir: str | None = None,
+    heartbeat_s: float | None = None,
+) -> float:
     """KB moved by one transaction through PBFT with *n* replicas."""
     config = _experiment_config(seed, max_endorsers=max(n, 4))
+    obs = _obs_from_params(timeseries, window_s, frames_path, sample_rate,
+                           flight_recorder, dump_dir, heartbeat_s)
     cluster = TopologySpec.cluster(
-        n_replicas=n, n_clients=1, config=config).build()
+        n_replicas=n, n_clients=1, config=config).build(obs=obs)
     before = cluster.network.stats.snapshot()
     cluster.submit(RawOperation(op_id=f"traffic-{seed}", size_bytes=TX_OP_BYTES))
     # hoisted: ``any_client`` re-resolves the min client id per call and
@@ -227,6 +283,8 @@ def _pbft_traffic_point(n: int, seed: int = 0) -> float:
         max_events=MAX_EVENTS_PER_RUN,
     )
     _note_events(cluster.sim)
+    if obs is not None:
+        obs.finish()
     if not client.completed:
         raise ConsensusError(f"traffic tx failed to commit at n={n}")
     return cluster.network.stats.snapshot().delta(before).kilobytes_sent
@@ -315,6 +373,13 @@ def _gpbft_agg_point(
     drain_slack_s: float = 7_200.0,
     max_events: int | None = None,
     processing_rate: float = 50.0,
+    timeseries: bool | None = None,
+    window_s: float | None = None,
+    frames_path: str | None = None,
+    sample_rate: float | None = None,
+    flight_recorder: bool | None = None,
+    dump_dir: str | None = None,
+    heartbeat_s: float | None = None,
 ) -> dict:
     """One aggregated city-scale day: *n* requests across zoned committees.
 
@@ -340,7 +405,15 @@ def _gpbft_agg_point(
         A dict with ``offered`` / ``completed`` request counts, total
         simulator ``events``, the final simulated clock ``sim_now_s``,
         and the zone/workload shape -- all deterministic for a given
-        spec.
+        spec.  With any observability param set, an ``obs`` sub-dict
+        summarizes frames written, spans kept, and dumps fired.
+
+    The observability params (all ``None``-off, see
+    :func:`_obs_from_params`) switch on the v2 pipeline: per-zone
+    window frames streamed to *frames_path*, head-sampled tracing at
+    *sample_rate*, and per-zone flight-recorder rings.  Day-long runs
+    should sample (e.g. 0.001) -- unsampled span buffering is exactly
+    the O(requests) memory this pipeline exists to avoid.
     """
     spec = TopologySpec.zoned(
         zones, nodes_per_zone=pool_size,
@@ -348,6 +421,10 @@ def _gpbft_agg_point(
         start_reports=False, workload=workload,
         event_capacity=event_capacity)
     sim = Simulator()
+    obs = _obs_from_params(timeseries, window_s, frames_path, sample_rate,
+                           flight_recorder, dump_dir, heartbeat_s)
+    if obs is not None:
+        obs.bind(sim)
     per_zone_rate = n / zones / duration_s
     all_clients = []
     streams: list[AggregatedArrivals] = []
@@ -369,7 +446,9 @@ def _gpbft_agg_point(
             config.network, processing_rate=processing_rate))
         cluster = TopologySpec.cluster(
             replicas_per_zone, n_clients=pool_size, config=config,
-            event_capacity=spec.event_capacity).build(sim=sim)
+            event_capacity=spec.event_capacity).build(
+                sim=sim,
+                obs=obs.for_zone(zone.name) if obs is not None else None)
         clients = [cluster.clients[cid] for cid in sorted(cluster.clients)]
         for client in clients:
             # every op id is fresh, so the replay-dedup window only has
@@ -413,7 +492,7 @@ def _gpbft_agg_point(
             break
         sim.run(until=min(sim.now + 60.0, horizon), max_events=cap)
     _note_events(sim)
-    return {
+    result = {
         "offered": offered,
         "completed": sum(c.completed_count for c in all_clients),
         "events": sim.events_processed,
@@ -423,6 +502,10 @@ def _gpbft_agg_point(
         "workload": workload,
         "profile": profile,
     }
+    if obs is not None:
+        obs.finish()
+        result["obs"] = _obs_result(obs)
+    return result
 
 
 # -- sweeps -----------------------------------------------------------------

@@ -147,6 +147,7 @@ class Simulator:
         self._counter = itertools.count()
         self._events_processed = 0
         self._step_hook: Callable[[ScheduledEvent], None] | None = None
+        self._tick_hook: Callable[[float], None] | None = None
         # exact totals so ``pending``/``heap_size`` stay O(1): entries
         # still queued (live + cancelled) and the cancelled subset
         self._queued = 0
@@ -341,6 +342,21 @@ class Simulator:
         """
         self._step_hook = hook
 
+    def set_tick_hook(self, hook: Callable[[float], None] | None) -> None:
+        """Observe the clock advancing to a new timestamp (``None`` detaches).
+
+        The hook fires once per *distinct* event time, after that time
+        is selected as the queue minimum but before any of its events
+        run.  At that moment no event earlier than the hook's argument
+        can ever fire (due far slots were promoted before selection and
+        new schedules land at or after ``now``), so ``repro.obs`` uses
+        it to close and flush time-series windows that end at or before
+        the new time.  The hook must observe only -- scheduling events
+        from inside it is not supported.  With no hook installed the
+        drain loops pay a single ``None`` check per distinct timestamp.
+        """
+        self._tick_hook = hook
+
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
         buckets, near_heap = self._buckets, self._near_heap
@@ -350,6 +366,8 @@ class Simulator:
             if not near_heap:
                 return False
             time = near_heap[0]
+            if self._tick_hook is not None and time > self._now:
+                self._tick_hook(time)
             cur = buckets[time]
             if type(cur) is not _Bucket:
                 # singleton fast path: the dict entry is the event
@@ -408,6 +426,8 @@ class Simulator:
             time = near_heap[0]
             if until is not None and time > until:
                 break
+            if self._tick_hook is not None and time > self._now:
+                self._tick_hook(time)
             bucket = buckets[time]
             if type(bucket) is not _Bucket:
                 # singleton fast path: the dict entry is the event
@@ -484,6 +504,8 @@ class Simulator:
             time = near_heap[0]
             if horizon is not None and time > horizon:
                 return False
+            if self._tick_hook is not None and time > self._now:
+                self._tick_hook(time)
             bucket = buckets[time]
             if type(bucket) is not _Bucket:
                 # singleton fast path: the dict entry is the event

@@ -18,21 +18,38 @@ together and is what protocol components accept as an optional ``obs``
 parameter; passing ``None`` (the default) keeps every hot path on a
 single ``is not None`` check, so goldens stay bit-identical and the
 bench gate sees no regression.
+
+City-scale (million-request) runs opt into the v2 pipeline through an
+:class:`~repro.obs.obsconfig.ObsConfig`: streamed time-series windows
+(:mod:`repro.obs.timeseries`), deterministic head sampling of request
+spans (:mod:`repro.obs.sampling`), and a post-mortem flight recorder
+(:mod:`repro.obs.flightrec`).  All three default off.
 """
 
 from repro.obs.core import Observability
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.instruments import Counter, Gauge, Histogram, Registry
 from repro.obs.nettap import NetworkTap, tap_network
+from repro.obs.obsconfig import ObsConfig
+from repro.obs.sampling import HeadSampler, sample_key
 from repro.obs.spans import Span, Tracer
+from repro.obs.timeseries import QuantileSketch, Timeseries, validate_frame
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
+    "HeadSampler",
     "Histogram",
     "NetworkTap",
+    "ObsConfig",
     "Observability",
+    "QuantileSketch",
     "Registry",
     "Span",
+    "Timeseries",
     "Tracer",
+    "sample_key",
     "tap_network",
+    "validate_frame",
 ]

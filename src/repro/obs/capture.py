@@ -14,6 +14,7 @@ from dataclasses import dataclass, replace
 from repro.common.config import GPBFTConfig, TopologySpec
 from repro.common.errors import ConfigurationError
 from repro.obs.core import Observability
+from repro.obs.obsconfig import ObsConfig
 from repro.obs.spans import Span
 from repro.pbft.messages import RawOperation
 
@@ -52,6 +53,7 @@ def capture_run(
     seed: int = 0,
     horizon_s: float = 60.0,
     era_switch_at: float | None = None,
+    obs_config: ObsConfig | None = None,
 ) -> Capture:
     """Run one instrumented scenario and return the sealed capture.
 
@@ -62,6 +64,8 @@ def capture_run(
         seed: root seed for network jitter and placement.
         horizon_s: simulated seconds to run.
         era_switch_at: G-PBFT only -- force an era switch at this time.
+        obs_config: v2 pipeline settings (windows, sampling, flight
+            recorder); ``None`` keeps the all-off v1 behavior.
 
     Raises:
         ConfigurationError: on an unknown protocol or a PBFT era switch.
@@ -72,7 +76,7 @@ def capture_run(
         raise ConfigurationError("era_switch_at requires protocol gpbft")
     base = GPBFTConfig()
     config = base.replace(network=replace(base.network, seed=seed))
-    obs = Observability()
+    obs = Observability(obs_config)
     if protocol == "pbft":
         host = TopologySpec.cluster(
             n_replicas=n, n_clients=1, config=config).build(obs=obs)

@@ -3,11 +3,16 @@
 Subcommands:
 
 - ``capture`` -- run one instrumented scenario and write the trace
-  (Chrome trace-event JSON), span dump (JSONL), and/or instrument
-  snapshot to files.
+  (Chrome trace-event JSON), span dump (JSONL), instrument snapshot,
+  and/or streamed window frames to files.  The v2 pipeline (windows,
+  head sampling, flight recorder) switches on via flags.
 - ``report`` -- read a trace/span file and print the per-phase latency
-  tables plus the era-switch downtime timeline.
-- ``validate`` -- check a file parses as Chrome trace-event JSON.
+  tables plus the era-switch downtime timeline; given a frames JSONL
+  file it prints the per-zone window timeline instead.
+- ``validate`` -- check a trace file.  JSONL inputs (span dumps or
+  window frames) stream line-by-line, so a million-frame file costs
+  constant memory; the first malformed record exits 2 with its line
+  number.  Chrome traces are one JSON object and validate whole.
 
 Typical session::
 
@@ -19,18 +24,23 @@ Typical session::
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import sys
+from typing import Any, Iterable, TextIO
 
 from repro.obs.capture import capture_run
 from repro.obs.export import (
     load_spans,
+    span_from_dict,
     validate_chrome_trace,
     write_chrome_trace,
     write_spans_jsonl,
 )
-from repro.obs.report import render_report
+from repro.obs.obsconfig import ObsConfig
+from repro.obs.report import render_report, render_timeline
 from repro.obs.spans import ObservabilityError
+from repro.obs.timeseries import validate_frame
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,16 +67,54 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the instrument snapshot (JSON) here")
     cap.add_argument("--report", action="store_true",
                      help="also print the phase-breakdown report")
+    cap.add_argument("--window", type=float, default=60.0,
+                     help="simulated seconds per time-series window")
+    cap.add_argument("--frames", default=None,
+                     help="stream window frames (JSONL) here")
+    cap.add_argument("--timeseries", action="store_true",
+                     help="aggregate window frames even without --frames")
+    cap.add_argument("--sample-rate", type=float, default=1.0,
+                     help="fraction of request ids traced (head sampling)")
+    cap.add_argument("--flight-recorder", action="store_true",
+                     help="keep bounded event rings for post-mortem dumps")
+    cap.add_argument("--dump-dir", default=None,
+                     help="directory for flight-recorder dump bundles")
+    cap.add_argument("--dump", action="store_true",
+                     help="write an on-demand dump bundle at end of run")
+    cap.add_argument("--heartbeat", type=float, default=None,
+                     help="wall seconds between live progress lines")
 
-    rep = sub.add_parser("report", help="phase breakdown from a trace file")
-    rep.add_argument("file", help="Chrome trace JSON or JSONL span dump")
+    rep = sub.add_parser(
+        "report", help="phase breakdown (spans) or window timeline (frames)")
+    rep.add_argument("file", help="Chrome trace JSON, JSONL span dump, "
+                                  "or JSONL window frames")
 
-    val = sub.add_parser("validate", help="validate a Chrome trace file")
+    val = sub.add_parser("validate", help="validate a trace/frames file")
     val.add_argument("file")
     return parser
 
 
+def _obs_config(args: argparse.Namespace) -> ObsConfig | None:
+    """An :class:`ObsConfig` from capture flags (None = all-off v1)."""
+    wants_flight = args.flight_recorder or args.dump_dir or args.dump
+    if not (args.frames or args.timeseries or args.sample_rate < 1.0
+            or wants_flight or args.heartbeat is not None):
+        return None
+    return ObsConfig(
+        window_s=args.window,
+        timeseries=args.timeseries,
+        frames_path=args.frames,
+        sample_rate=args.sample_rate,
+        flight_recorder=bool(wants_flight),
+        dump_dir=args.dump_dir,
+        heartbeat_s=args.heartbeat,
+    )
+
+
 def _cmd_capture(args: argparse.Namespace) -> int:
+    config = _obs_config(args)
+    if args.dump and (config is None or not config.flight_active):
+        raise ObservabilityError("--dump requires the flight recorder")
     capture = capture_run(
         protocol=args.protocol,
         n=args.n,
@@ -74,7 +122,9 @@ def _cmd_capture(args: argparse.Namespace) -> int:
         seed=args.seed,
         horizon_s=args.horizon,
         era_switch_at=args.era_switch_at,
+        obs_config=config,
     )
+    obs = capture.obs
     spans = capture.spans
     if args.trace:
         write_chrome_trace(spans, args.trace)
@@ -87,17 +137,95 @@ def _cmd_capture(args: argparse.Namespace) -> int:
             json.dump(capture.snapshot(), fh, sort_keys=True, indent=2)
             fh.write("\n")
         print(f"wrote instrument snapshot to {args.metrics}")
-    if args.report or not (args.trace or args.spans or args.metrics):
+    if args.frames and obs.timeseries is not None:
+        print(f"wrote {obs.timeseries.frames_written} window frames "
+              f"to {args.frames} (jsonl)")
+    if args.dump and obs.flight is not None:
+        obs.flight.dump("on-demand", at=capture.host.sim.now)
+    if obs.flight is not None and obs.flight.dump_paths:
+        for path in obs.flight.dump_paths:
+            print(f"wrote flight-recorder dump to {path}")
+    if args.report or not (args.trace or args.spans or args.metrics
+                           or args.frames):
         print(render_report(spans))
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    head = _first_record(args.file)
+    if isinstance(head, dict) and "window" in head and "sid" not in head:
+        from repro.obs.timeseries import load_frames
+
+        print(render_timeline(load_frames(args.file)))
+        return 0
     print(render_report(load_spans(args.file)))
     return 0
 
 
+def _first_record(path: str) -> Any:
+    """The first line of *path* parsed as JSON, or None."""
+    with open(path) as fh:
+        first = fh.readline()
+    try:
+        return json.loads(first)
+    except json.JSONDecodeError:
+        return None
+
+
+def _validate_record(row: Any) -> str:
+    """Check one JSONL record; returns its kind ("span" or "frame")."""
+    if not isinstance(row, dict):
+        raise ObservabilityError("record is not an object")
+    if "sid" in row:
+        try:
+            span_from_dict(row)
+        except (KeyError, TypeError) as exc:
+            raise ObservabilityError(f"malformed span record: {exc}") from exc
+        return "span"
+    if "window" in row:
+        validate_frame(row)
+        return "frame"
+    raise ObservabilityError(
+        "record is neither a span (no 'sid') nor a window frame (no 'window')")
+
+
+def _validate_stream(path: str, lines: Iterable[str]) -> int:
+    """Validate JSONL records one line at a time; returns the count.
+
+    Raises:
+        ObservabilityError: tagged ``{path}:{lineno}`` for the first
+            malformed line -- the caller maps this to exit code 2.
+    """
+    count = 0
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"{path}:{lineno}: not JSON ({exc.msg})") from exc
+        try:
+            _validate_record(row)
+        except ObservabilityError as exc:
+            raise ObservabilityError(f"{path}:{lineno}: {exc}") from exc
+        count += 1
+    return count
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
+    fh: TextIO
+    with open(args.file) as fh:
+        first = fh.readline()
+        try:
+            head = json.loads(first) if first.strip() else None
+        except json.JSONDecodeError:
+            head = None
+        if isinstance(head, dict) and "traceEvents" not in head:
+            # JSONL span dump or frames file: stream, never load whole
+            count = _validate_stream(args.file, itertools.chain([first], fh))
+            print(f"{args.file}: valid jsonl ({count} records)")
+            return 0
     with open(args.file) as fh:
         doc = json.load(fh)
     validate_chrome_trace(doc)

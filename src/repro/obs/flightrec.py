@@ -1,0 +1,194 @@
+"""Post-mortem flight recorder: bounded event rings + dump bundles.
+
+Replaying a failed day-long run to diagnose it costs another day-long
+run.  The flight recorder keeps the diagnosis *in* the failing run: a
+bounded ring buffer of the most recent events per node group (a zone,
+a cluster) is always a few hundred events deep, and when something
+goes wrong the recorder writes a single JSON bundle containing
+
+* the ring contents for every attached group (the last N events each),
+* a snapshot of the instrument registry at dump time,
+* the tail of the window frames from the streaming time-series, and
+* whatever the trigger wants to attach (e.g. the serialized
+  :class:`~repro.verify.invariants.InvariantViolation`).
+
+Dumps fire on three triggers: an invariant violation (wired through
+``MonitorHarness.on_violation``), a view-change storm (more than
+``storm_threshold`` view-change events inside one ``storm_window_s``
+for a single group), or an explicit :meth:`FlightRecorder.dump` call.
+Memory is bounded everywhere: rings are ``deque(maxlen=...)``, and the
+in-memory dump list keeps only the most recent few bundles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Any, Callable
+
+from repro.common.eventlog import EV_PBFT_VIEW_CHANGE, Event, EventLog
+from repro.obs.obsconfig import ObsConfig
+
+#: Version of the dump bundle layout; bump on incompatible changes.
+DUMP_SCHEMA = 1
+
+#: In-memory dump bundles retained (dumps on disk are never pruned).
+_DUMPS_KEPT = 4
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce *value* into something ``json.dumps`` accepts as-is."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def _event_to_dict(event: Event) -> dict:
+    """Flatten one ring event for the dump bundle."""
+    return {
+        "at": event.at,
+        "kind": event.kind,
+        "node": event.node,
+        "data": {k: _jsonable(v) for k, v in event.data.items()},
+    }
+
+
+class FlightRecorder:
+    """Bounded per-group event rings with triggered post-mortem dumps.
+
+    Attributes:
+        dumps: the most recent in-memory dump bundles, oldest first
+            (bounded; on-disk bundles under ``dump_dir`` are permanent).
+        dump_paths: files written so far, in order.
+    """
+
+    def __init__(self, config: ObsConfig,
+                 instruments: Callable[[], dict] | None = None,
+                 frames: Callable[[], list[dict]] | None = None) -> None:
+        self._config = config
+        self._instruments = instruments
+        self._frames = frames
+        self._rings: dict[str, deque[Event]] = {}
+        self._storm_start: dict[str, float] = {}
+        self._storm_count: dict[str, int] = {}
+        self._seq = 0
+        self.dumps: deque[dict] = deque(maxlen=_DUMPS_KEPT)
+        self.dump_paths: deque[str] = deque(maxlen=_DUMPS_KEPT)
+
+    @property
+    def groups(self) -> list[str]:
+        """Attached group names, sorted."""
+        return sorted(self._rings)
+
+    def attach(self, events: EventLog, group: str) -> None:
+        """Mirror *events* into the bounded ring for *group*.
+
+        Multiple logs may share a group (their events interleave in
+        arrival order); attaching is append-only and never replays
+        events already in the log.
+        """
+        ring = self._rings.get(group)
+        if ring is None:
+            ring = self._rings[group] = deque(maxlen=self._config.ring_capacity)
+
+        def on_event(event: Event, _ring: deque = ring, _group: str = group) -> None:
+            _ring.append(event)
+            if event.kind == EV_PBFT_VIEW_CHANGE:
+                self._on_view_change(_group, event.at)
+
+        events.subscribe(on_event)
+
+    def _on_view_change(self, group: str, at: float) -> None:
+        """Count view changes per group; dump once when a storm trips."""
+        threshold = self._config.storm_threshold
+        if threshold <= 0:
+            return
+        start = self._storm_start.get(group)
+        if start is None or at >= start + self._config.storm_window_s:
+            self._storm_start[group] = at
+            self._storm_count[group] = 1
+            return
+        self._storm_count[group] += 1
+        if self._storm_count[group] == threshold:
+            self.dump("view-change-storm", at=at, extra={
+                "group": group,
+                "view_changes": threshold,
+                "window_start": start,
+                "window_s": self._config.storm_window_s,
+            })
+
+    def on_violation(self, violation: Any) -> None:
+        """Dump trigger for invariant violations (harness hook target)."""
+        event = getattr(violation, "event", None)
+        self.dump("invariant-violation",
+                  at=event.at if event is not None else None,
+                  extra={"violation": violation.to_json()})
+
+    def dump(self, reason: str, at: float | None = None,
+             extra: dict | None = None) -> dict:
+        """Write one post-mortem bundle; returns it as a dict.
+
+        The bundle always embeds every attached ring plus, when the
+        facade provided them, the instrument snapshot and the window
+        frame tail.  With a ``dump_dir`` configured the bundle is also
+        written to ``flight-{seq:03d}-{reason}.json`` in that
+        directory; the file name is deterministic so seeded runs
+        produce identical artifact sets.
+        """
+        bundle: dict[str, Any] = {
+            "schema": DUMP_SCHEMA,
+            "seq": self._seq,
+            "reason": reason,
+            "at": at,
+            "rings": {
+                group: [_event_to_dict(e) for e in self._rings[group]]
+                for group in sorted(self._rings)
+            },
+            "instruments": self._instruments() if self._instruments else None,
+            "frames": self._frames() if self._frames else None,
+            "extra": _jsonable(extra) if extra is not None else None,
+        }
+        self._seq += 1
+        self.dumps.append(bundle)
+        if self._config.dump_dir is not None:
+            os.makedirs(self._config.dump_dir, exist_ok=True)
+            path = os.path.join(
+                self._config.dump_dir,
+                f"flight-{bundle['seq']:03d}-{reason}.json")
+            with open(path, "w") as fh:
+                json.dump(bundle, fh, sort_keys=True, indent=1)
+                fh.write("\n")
+            self.dump_paths.append(path)
+        return bundle
+
+
+def validate_dump(doc: Any) -> None:
+    """Check a parsed dump bundle is well-formed.
+
+    Raises:
+        repro.obs.spans.ObservabilityError: naming the malformed field.
+    """
+    from repro.obs.spans import ObservabilityError
+
+    if not isinstance(doc, dict):
+        raise ObservabilityError("dump is not an object")
+    if doc.get("schema") != DUMP_SCHEMA:
+        raise ObservabilityError(
+            f"dump schema {doc.get('schema')!r} != {DUMP_SCHEMA}")
+    if not isinstance(doc.get("reason"), str):
+        raise ObservabilityError("dump reason must be a string")
+    rings = doc.get("rings")
+    if not isinstance(rings, dict):
+        raise ObservabilityError("dump rings must be an object")
+    for group, events in rings.items():
+        if not isinstance(events, list):
+            raise ObservabilityError(f"dump ring {group!r} must be a list")
+        for entry in events:
+            if not isinstance(entry, dict) or "at" not in entry or "kind" not in entry:
+                raise ObservabilityError(
+                    f"dump ring {group!r} holds a malformed event")

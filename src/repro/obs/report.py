@@ -203,3 +203,41 @@ def render_report(spans: list[Span]) -> str:
         era_table(era_timeline(spans)),
     ]
     return "\n".join(parts)
+
+
+def render_timeline(frames: list[dict]) -> str:
+    """Per-zone window timeline from streamed time-series frames.
+
+    One table per zone, one row per (non-empty) window: request
+    counters, view changes, era switches, message volume, and the
+    commit-latency percentiles from the window's sketch.
+    """
+    if not frames:
+        return "timeline: no frames"
+    lines = [f"window frames: {len(frames)}"]
+    zones = sorted({frame["zone"] for frame in frames})
+    for zone in zones:
+        rows = [frame for frame in frames if frame["zone"] == zone]
+        lines.append("")
+        lines.append(f"zone {zone}:")
+        lines.append(
+            f"  {'window':>7} {'start_s':>10} {'submit':>7} {'commit':>7} "
+            f"{'vc':>4} {'era':>4} {'msgs':>8} {'kB':>9} "
+            f"{'p50_ms':>8} {'p95_ms':>8} {'p99_ms':>8}"
+        )
+        for frame in rows:
+            counters = frame["counters"]
+            latency = frame.get("latency") or {}
+            p50 = f"{latency['p50'] * 1e3:.1f}" if "p50" in latency else "-"
+            p95 = f"{latency['p95'] * 1e3:.1f}" if "p95" in latency else "-"
+            p99 = f"{latency['p99'] * 1e3:.1f}" if "p99" in latency else "-"
+            partial = "  (partial)" if frame.get("partial") else ""
+            lines.append(
+                f"  {frame['window']:>7} {frame['start']:>10.1f} "
+                f"{counters['submitted']:>7} {counters['commits']:>7} "
+                f"{counters['view_changes']:>4} {counters['era_switches']:>4} "
+                f"{counters['messages_sent']:>8} "
+                f"{counters['bytes_sent'] / 1024.0:>9.1f} "
+                f"{p50:>8} {p95:>8} {p99:>8}{partial}"
+            )
+    return "\n".join(lines)

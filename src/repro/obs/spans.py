@@ -136,7 +136,7 @@ class Tracer:
             return None
         span.end = self._clock() if at is None else at
         span.args.update(args)
-        self._closed.append(span)
+        self._closed.append(span)  # gpb: allow GPB016 -- capture-scoped span buffer; city-scale runs bound it via head sampling (ObsConfig.sample_rate)
         return span
 
     def is_open(self, key: str) -> bool:
@@ -154,7 +154,7 @@ class Tracer:
             node=node, start=t, end=t, args=dict(args),
         )
         self._next_sid += 1
-        self._closed.append(span)
+        self._closed.append(span)  # gpb: allow GPB016 -- capture-scoped span buffer; instants are rare (elections), not per-request
         return span
 
     @contextmanager

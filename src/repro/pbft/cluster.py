@@ -125,6 +125,8 @@ class PBFTCluster:
             from repro.verify.invariants import MonitorHarness
 
             self.monitors = MonitorHarness(self, self.config.verify)
+        if obs is not None:
+            obs.attach_host(self)
         faults = faults or {}
 
         self.executors: dict[int, _ExecutedLog] = {}

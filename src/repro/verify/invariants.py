@@ -32,7 +32,7 @@ the hot paths pay a single truthiness check (see
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, NoReturn
+from typing import Any, Callable, NoReturn
 
 from repro.common.config import VerifyConfig
 from repro.common.errors import EraSwitchError, ReproError
@@ -389,7 +389,17 @@ class MonitorHarness:
     :class:`InvariantViolation` out of the simulation step that caused
     it.  Call :meth:`check_final` after the run for end-of-run checks
     and :meth:`detach` to stop observing.
+
+    Attributes:
+        on_violation: optional callback receiving each
+            :class:`InvariantViolation` *before* it is raised.  The
+            observability flight recorder hooks this to dump a
+            post-mortem bundle while the evidence (event rings,
+            instrument state, window frames) is still live; the
+            violation propagates unchanged afterwards.
     """
+
+    on_violation: Callable[[InvariantViolation], None] | None = None
 
     def __init__(self, host, config: VerifyConfig | None = None,
                  monitors: list[Monitor] | None = None) -> None:
@@ -445,12 +455,15 @@ class MonitorHarness:
     def fail(self, monitor: Monitor, message: str,
              event: Event | None = None) -> NoReturn:
         """Raise a structured violation with the current trace window."""
-        raise InvariantViolation(
+        violation = InvariantViolation(
             monitor=monitor.name,
             message=message,
             event=event,
             trace=[event_to_json(e) for e in self.trace],
         )
+        if self.on_violation is not None:
+            self.on_violation(violation)
+        raise violation
 
     def check_final(self) -> None:
         """Run every monitor's end-of-simulation checks."""

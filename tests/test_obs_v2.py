@@ -1,0 +1,520 @@
+"""Tests for the v2 observability pipeline (``repro.obs`` city-scale).
+
+Covers the streaming windowed time-series (frame content, flush
+timing, partial frames, bit-identical JSONL output), the deterministic
+head sampler, the flight recorder (rings, storm trigger, invariant
+-violation trigger, on-demand dumps), the simulator tick hook, the
+zone-labeled facade clones, the streaming ``validate`` CLI path, and
+the zero-overhead guarantee that enabling the v2 pipeline leaves the
+event schedule bit-identical.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.common.eventlog import (
+    EV_PBFT_ASSIGNED,
+    EV_PBFT_VIEW_CHANGE,
+    EventLog,
+)
+from repro.net.simulator import Simulator
+from repro.obs.capture import capture_run
+from repro.obs.cli import main as obs_main
+from repro.obs.core import Observability
+from repro.obs.flightrec import DUMP_SCHEMA, FlightRecorder, validate_dump
+from repro.obs.obsconfig import ObsConfig
+from repro.obs.sampling import HeadSampler, sample_key
+from repro.obs.spans import ObservabilityError
+from repro.obs.timeseries import (
+    FRAME_SCHEMA,
+    Heartbeat,
+    QuantileSketch,
+    Timeseries,
+    load_frames,
+    validate_frame,
+)
+from repro.verify.invariants import InvariantViolation, MonitorHarness
+
+
+class TestObsConfig:
+    def test_defaults_disable_everything(self):
+        cfg = ObsConfig()
+        assert not cfg.timeseries_active
+        assert not cfg.flight_active
+        assert not cfg.sampling_active
+
+    def test_paths_activate_their_features(self):
+        assert ObsConfig(frames_path="f.jsonl").timeseries_active
+        assert ObsConfig(timeseries=True).timeseries_active
+        assert ObsConfig(dump_dir="dumps").flight_active
+        assert ObsConfig(flight_recorder=True).flight_active
+        assert ObsConfig(sample_rate=0.5).sampling_active
+
+    @pytest.mark.parametrize("kwargs", [
+        {"window_s": 0.0},
+        {"window_s": -1.0},
+        {"sample_rate": -0.1},
+        {"sample_rate": 1.5},
+        {"frames_tail": 0},
+        {"ring_capacity": 0},
+        {"storm_threshold": -1},
+        {"storm_window_s": 0.0},
+        {"heartbeat_s": 0.0},
+    ])
+    def test_bad_knobs_raise(self, kwargs):
+        with pytest.raises(ObservabilityError):
+            ObsConfig(**kwargs)
+
+
+class TestQuantileSketch:
+    def test_empty_quantile_raises(self):
+        with pytest.raises(ObservabilityError):
+            QuantileSketch().quantile(0.5)
+        assert QuantileSketch().summary() == {}
+
+    def test_single_value_within_relative_error(self):
+        sketch = QuantileSketch()
+        sketch.observe(0.25)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert 0.25 <= sketch.quantile(q) <= 0.25 * 1.1 + 1e-9
+
+    def test_quantiles_are_monotone(self):
+        sketch = QuantileSketch()
+        for k in range(200):
+            sketch.observe(0.001 * (k + 1))
+        estimates = [sketch.quantile(q) for q in (0.1, 0.5, 0.9, 0.99, 1.0)]
+        assert estimates == sorted(estimates)
+
+    def test_exact_stats_alongside_sketch(self):
+        sketch = QuantileSketch()
+        for value in (0.5, 1.5, 2.5):
+            sketch.observe(value)
+        summary = sketch.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(4.5)
+        assert summary["min"] == pytest.approx(0.5)
+        assert summary["max"] == pytest.approx(2.5)
+
+    def test_tiny_values_clamp_to_floor_bucket(self):
+        sketch = QuantileSketch()
+        sketch.observe(0.0)
+        sketch.observe(1e-9)
+        assert sketch.quantile(1.0) == pytest.approx(1e-4)
+
+    def test_insertion_order_does_not_change_summary(self):
+        values = [0.003, 1.7, 0.04, 0.5, 12.0, 0.003]
+        a, b = QuantileSketch(), QuantileSketch()
+        for v in values:
+            a.observe(v)
+        for v in reversed(values):
+            b.observe(v)
+        assert a.summary() == b.summary()
+
+
+class TestHeadSampler:
+    def test_rate_one_keeps_everything(self):
+        sampler = HeadSampler(1.0)
+        assert all(sampler.sampled(f"r{i}") for i in range(50))
+
+    def test_rate_zero_keeps_nothing(self):
+        sampler = HeadSampler(0.0)
+        assert not any(sampler.sampled(f"r{i}") for i in range(50))
+
+    def test_decisions_are_deterministic_across_instances(self):
+        a, b = HeadSampler(0.3), HeadSampler(0.3)
+        rids = [f"c{i}-{j}" for i in range(20) for j in range(20)]
+        assert [a.sampled(r) for r in rids] == [b.sampled(r) for r in rids]
+
+    def test_sample_key_is_uniform_unit_interval(self):
+        keys = [sample_key(f"req-{i}") for i in range(500)]
+        assert all(0.0 <= k < 1.0 for k in keys)
+        # a gross-uniformity sanity check, not a statistical test
+        assert 0.3 < sum(keys) / len(keys) < 0.7
+
+    def test_kept_fraction_tracks_rate(self):
+        sampler = HeadSampler(0.2)
+        kept = sum(sampler.sampled(f"req-{i}") for i in range(2000))
+        assert 0.14 < kept / 2000 < 0.26
+
+    def test_bad_rate_raises(self):
+        with pytest.raises(ObservabilityError):
+            HeadSampler(1.5)
+        with pytest.raises(ObservabilityError):
+            HeadSampler(-0.2)
+
+
+class TestTimeseries:
+    def test_frame_carries_window_counters_and_latency(self):
+        ts = Timeseries(window_s=10.0)
+        ts.submitted("z0", "r1", 1.0)
+        ts.submitted("z0", "r2", 2.0)
+        ts.completed("z0", "r1", 3.0)
+        ts.view_change("z0", 4.0)
+        ts.era_switch("z0", 5.0)
+        ts.on_send("z0", 700, 6.0)
+        ts.depth("z0", 3, 6.5)
+        ts.depth("z0", 9, 7.0)
+        ts.depth("z0", 5, 7.5)
+        assert ts.finish(8.0) == 1
+        frame = ts.frames_tail[-1]
+        validate_frame(frame)
+        assert frame["window"] == 0
+        assert frame["start"] == 0.0 and frame["end"] == 10.0
+        assert frame["zone"] == "z0"
+        assert frame["partial"] is True
+        assert frame["counters"] == {
+            "bytes_sent": 700, "commits": 1, "era_switches": 1,
+            "messages_sent": 1, "submitted": 2, "view_changes": 1,
+        }
+        assert frame["latency"]["count"] == 1
+        assert frame["latency"]["sum"] == pytest.approx(2.0)
+        assert frame["gauges"]["mempool_depth_max"] == 9
+
+    def test_windows_flush_when_the_clock_crosses_a_boundary(self):
+        ts = Timeseries(window_s=10.0)
+        ts.submitted("z0", "r1", 1.0)
+        assert ts.advance(9.999) == 0
+        assert ts.advance(10.0) == 1
+        assert "partial" not in ts.frames_tail[-1]
+        ts.submitted("z0", "r2", 11.0)
+        assert ts.finish(12.0) == 1
+        assert [f["window"] for f in ts.frames_tail] == [0, 1]
+
+    def test_multiple_zones_flush_sorted_by_name(self):
+        ts = Timeseries(window_s=5.0)
+        ts.submitted("zB", "r1", 1.0)
+        ts.submitted("zA", "r2", 2.0)
+        ts.pending(40, 3.0)
+        assert ts.advance(5.0) == 3
+        assert [f["zone"] for f in ts.frames_tail] == ["_sim", "zA", "zB"]
+        assert ts.frames_tail[0]["gauges"]["pending_events_max"] == 40
+
+    def test_quiet_gap_is_constant_cost(self):
+        ts = Timeseries(window_s=1.0)
+        ts.submitted("z0", "r1", 0.5)
+        # a week-long quiet gap flushes exactly one frame; the window
+        # index in the next frame keeps the timeline unambiguous
+        assert ts.advance(604_800.0) == 1
+        ts.submitted("z0", "r2", 604_800.5)
+        assert ts.finish(604_801.0) == 1
+        assert [f["window"] for f in ts.frames_tail] == [0, 604_800]
+
+    def test_recording_with_a_late_clock_self_advances(self):
+        ts = Timeseries(window_s=10.0)
+        ts.submitted("z0", "r1", 1.0)
+        # no explicit advance(): the next recording flushes window 0
+        ts.submitted("z0", "r2", 25.0)
+        assert ts.frames_written == 1
+        assert ts.frames_tail[0]["window"] == 0
+
+    def test_completion_without_submission_skips_latency(self):
+        ts = Timeseries(window_s=10.0)
+        ts.completed("z0", "ghost", 3.0)
+        ts.finish(4.0)
+        frame = ts.frames_tail[-1]
+        assert frame["counters"]["commits"] == 1
+        assert frame["latency"] is None
+
+    def test_frames_file_is_bit_identical_across_runs(self, tmp_path):
+        def run(path):
+            ts = Timeseries(window_s=5.0, path=str(path))
+            for k in range(40):
+                rid = f"r{k}"
+                ts.submitted("z0", rid, 0.5 * k)
+                ts.completed("z0", rid, 0.5 * k + 0.3)
+            ts.finish(25.0)
+
+        run(tmp_path / "a.jsonl")
+        run(tmp_path / "b.jsonl")
+        a = (tmp_path / "a.jsonl").read_bytes()
+        assert a == (tmp_path / "b.jsonl").read_bytes()
+        assert a
+        frames = load_frames(str(tmp_path / "a.jsonl"))
+        assert all(f["schema"] == FRAME_SCHEMA for f in frames)
+
+    def test_frames_tail_is_bounded(self):
+        ts = Timeseries(window_s=1.0, frames_tail=4)
+        for k in range(10):
+            ts.submitted("z0", f"r{k}", float(k))
+        ts.finish(10.0)
+        assert ts.frames_written == 10
+        assert len(ts.frames_tail) == 4
+        assert [f["window"] for f in ts.frames_tail] == [6, 7, 8, 9]
+
+    def test_load_frames_reports_the_offending_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        ts = Timeseries(window_s=1.0, path=str(path))
+        ts.submitted("z0", "r1", 0.5)
+        ts.finish(1.0)
+        with open(path, "a") as fh:
+            fh.write('{"schema":1,"window":-3}\n')
+        with pytest.raises(ObservabilityError, match=r"bad\.jsonl:2"):
+            load_frames(str(path))
+
+    @pytest.mark.parametrize("mutate,match", [
+        (lambda f: f.__setitem__("schema", 99), "schema"),
+        (lambda f: f.__setitem__("window", -1), "window"),
+        (lambda f: f.__setitem__("start", "x"), "start/end"),
+        (lambda f: f.__setitem__("zone", 7), "zone"),
+        (lambda f: f["counters"].__setitem__("commits", -1), "commits"),
+        (lambda f: f.__setitem__("latency", [1]), "latency"),
+        (lambda f: f.__setitem__("gauges", None), "gauges"),
+    ])
+    def test_validate_frame_names_the_bad_field(self, mutate, match):
+        ts = Timeseries(window_s=1.0)
+        ts.submitted("z0", "r1", 0.5)
+        ts.finish(1.0)
+        frame = json.loads(json.dumps(ts.frames_tail[-1]))
+        mutate(frame)
+        with pytest.raises(ObservabilityError, match=match):
+            validate_frame(frame)
+
+
+class TestHeartbeat:
+    def test_first_call_arms_without_printing(self):
+        out = io.StringIO()
+        hb = Heartbeat(interval_s=0.0, stream=out)
+        assert hb.maybe_beat(10.0, 100) is False
+        assert out.getvalue() == ""
+
+    def test_beat_reports_sim_wall_and_rate(self):
+        out = io.StringIO()
+        hb = Heartbeat(interval_s=0.0, stream=out)
+        hb.maybe_beat(10.0, 100)
+        assert hb.maybe_beat(20.0, 600) is True
+        line = out.getvalue()
+        assert line.startswith("[obs] sim=20s wall=")
+        assert "events/s=" in line and "rss=" in line
+
+
+def _storm_config(**kwargs):
+    base = dict(flight_recorder=True, ring_capacity=8,
+                storm_threshold=3, storm_window_s=10.0)
+    base.update(kwargs)
+    return ObsConfig(**base)
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded_and_keeps_the_newest(self):
+        flight = FlightRecorder(_storm_config())
+        log = EventLog()
+        flight.attach(log, "z0")
+        for k in range(20):
+            log.record(float(k), EV_PBFT_ASSIGNED, node=1, seq=k)
+        bundle = flight.dump("on-demand", at=20.0)
+        ring = bundle["rings"]["z0"]
+        assert len(ring) == 8
+        assert [e["data"]["seq"] for e in ring] == list(range(12, 20))
+
+    def test_storm_dump_fires_exactly_once_at_threshold(self):
+        flight = FlightRecorder(_storm_config())
+        log = EventLog()
+        flight.attach(log, "z0")
+        for k in range(5):
+            log.record(1.0 + 0.1 * k, EV_PBFT_VIEW_CHANGE, node=k)
+        assert len(flight.dumps) == 1
+        bundle = flight.dumps[0]
+        assert bundle["reason"] == "view-change-storm"
+        assert bundle["extra"]["group"] == "z0"
+        assert bundle["extra"]["view_changes"] == 3
+
+    def test_spread_out_view_changes_never_storm(self):
+        flight = FlightRecorder(_storm_config())
+        log = EventLog()
+        flight.attach(log, "z0")
+        for k in range(6):
+            log.record(20.0 * k, EV_PBFT_VIEW_CHANGE, node=k)
+        assert len(flight.dumps) == 0
+
+    def test_threshold_zero_disables_the_storm_trigger(self):
+        flight = FlightRecorder(_storm_config(storm_threshold=0))
+        log = EventLog()
+        flight.attach(log, "z0")
+        for k in range(10):
+            log.record(1.0 + 0.1 * k, EV_PBFT_VIEW_CHANGE, node=k)
+        assert len(flight.dumps) == 0
+
+    def test_violation_dump_embeds_the_serialized_violation(self):
+        flight = FlightRecorder(_storm_config())
+        violation = InvariantViolation("prefix-consistency", "slot forked")
+        flight.on_violation(violation)
+        bundle = flight.dumps[-1]
+        assert bundle["reason"] == "invariant-violation"
+        assert bundle["extra"]["violation"]["monitor"] == "prefix-consistency"
+        assert bundle["extra"]["violation"]["message"] == "slot forked"
+
+    def test_dump_file_is_deterministic_and_valid(self, tmp_path):
+        flight = FlightRecorder(_storm_config(dump_dir=str(tmp_path)))
+        log = EventLog()
+        flight.attach(log, "z0")
+        log.record(1.0, EV_PBFT_ASSIGNED, node=1, seq=0)
+        flight.dump("on-demand", at=1.0)
+        flight.dump("on-demand", at=2.0)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["flight-000-on-demand.json",
+                         "flight-001-on-demand.json"]
+        with open(tmp_path / names[0]) as fh:
+            doc = json.load(fh)
+        validate_dump(doc)
+        assert doc["schema"] == DUMP_SCHEMA
+
+    def test_validate_dump_rejects_malformed_bundles(self):
+        with pytest.raises(ObservabilityError):
+            validate_dump([])
+        with pytest.raises(ObservabilityError, match="schema"):
+            validate_dump({"schema": 0, "reason": "x", "rings": {}})
+        with pytest.raises(ObservabilityError, match="ring"):
+            validate_dump({"schema": DUMP_SCHEMA, "reason": "x",
+                           "rings": {"z0": [{"kind": "no-at"}]}})
+
+
+class _StubHost:
+    """Minimal host shape for attach_host: an event log + monitors."""
+
+    def __init__(self):
+        self.events = EventLog()
+        self.monitors = MonitorHarness(self, monitors=[])
+
+
+class _StubMonitor:
+    name = "stub"
+
+
+class TestObservabilityFacadeV2:
+    def test_default_facade_has_no_v2_components(self):
+        obs = Observability()
+        assert obs.timeseries is None
+        assert obs.flight is None
+        assert obs.sampler is None
+
+    def test_attach_host_routes_violations_to_the_recorder(self):
+        obs = Observability(ObsConfig(flight_recorder=True))
+        host = _StubHost()
+        obs.attach_host(host, group="z0")
+        host.events.record(1.0, EV_PBFT_ASSIGNED, node=0, seq=1)
+        assert host.monitors.on_violation == obs.flight.on_violation
+        with pytest.raises(InvariantViolation):
+            host.monitors.fail(_StubMonitor(), "planted failure")
+        bundle = obs.flight.dumps[-1]
+        assert bundle["reason"] == "invariant-violation"
+        assert [e["kind"] for e in bundle["rings"]["z0"]] == [EV_PBFT_ASSIGNED]
+
+    def test_zone_clones_share_the_pipeline_and_label_frames(self):
+        obs = Observability(ObsConfig(timeseries=True, window_s=10.0))
+        za, zb = obs.for_zone("zA"), obs.for_zone("zB")
+        assert za.timeseries is obs.timeseries
+        assert za.tracer is obs.tracer
+        za.request_submitted(0, "r1", 4)
+        zb.request_submitted(1, "r2", 4)
+        obs.timeseries.finish(1.0)
+        assert [f["zone"] for f in obs.timeseries.frames_tail] == ["zA", "zB"]
+
+    def test_tick_hook_fires_once_per_distinct_time_before_events(self):
+        sim = Simulator()
+        seen = []
+        fired_at_tick = []
+
+        def tick(time):
+            seen.append(time)
+            fired_at_tick.append(sim.events_processed)
+
+        sim.set_tick_hook(tick)
+        for t in (1.0, 1.0, 2.5, 2.5, 2.5, 4.0):
+            sim.schedule_at(t, lambda: None)
+        sim.run()
+        assert seen == [1.0, 2.5, 4.0]
+        # the hook saw each timestamp before any event at it ran
+        assert fired_at_tick == [0, 2, 5]
+
+    def test_sampling_thins_spans_but_not_the_timeseries(self):
+        obs = Observability(ObsConfig(timeseries=True, window_s=60.0,
+                                      sample_rate=0.0))
+        for k in range(25):
+            obs.request_submitted(0, f"r{k}", 4)
+            obs.request_completed(0, f"r{k}")
+        obs.timeseries.finish(1.0)
+        assert obs.tracer.spans == []
+        frame = obs.timeseries.frames_tail[-1]
+        assert frame["counters"]["submitted"] == 25
+        assert frame["counters"]["commits"] == 25
+        assert frame["latency"]["count"] == 25
+
+
+class TestCaptureV2:
+    CONFIG = dict(protocol="gpbft", n=8, submissions=5, seed=3,
+                  horizon_s=60.0, era_switch_at=12.0)
+
+    def test_v2_pipeline_leaves_the_schedule_bit_identical(self, tmp_path):
+        plain = capture_run(**self.CONFIG)
+        v2 = capture_run(**self.CONFIG, obs_config=ObsConfig(
+            timeseries=True, window_s=10.0,
+            frames_path=str(tmp_path / "frames.jsonl"),
+            sample_rate=0.5, flight_recorder=True))
+        assert v2.host.sim.events_processed == plain.host.sim.events_processed
+        assert v2.host.sim.now == plain.host.sim.now
+        assert v2.obs.timeseries.frames_written > 0
+        for frame in v2.obs.timeseries.frames_tail:
+            validate_frame(frame)
+
+    def test_same_seed_captures_write_identical_frames(self, tmp_path):
+        for name in ("a.jsonl", "b.jsonl"):
+            capture_run(**self.CONFIG, obs_config=ObsConfig(
+                timeseries=True, window_s=10.0,
+                frames_path=str(tmp_path / name)))
+        a = (tmp_path / "a.jsonl").read_bytes()
+        assert a == (tmp_path / "b.jsonl").read_bytes()
+        assert a
+
+    def test_sampled_capture_records_fewer_request_spans(self):
+        full = capture_run(**self.CONFIG)
+        thin = capture_run(**self.CONFIG,
+                           obs_config=ObsConfig(sample_rate=0.001))
+        full_reqs = [s for s in full.spans if s.cat == "request"]
+        thin_reqs = [s for s in thin.spans if s.cat == "request"]
+        assert len(thin_reqs) < len(full_reqs)
+        # era / election spans are never sampled away
+        assert any(s.cat == "era" for s in thin.spans)
+
+
+class TestValidateCli:
+    def _frames_file(self, path):
+        ts = Timeseries(window_s=5.0, path=str(path))
+        for k in range(6):
+            ts.submitted("z0", f"r{k}", 2.0 * k)
+        ts.finish(12.0)
+
+    def test_valid_frames_stream_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "frames.jsonl"
+        self._frames_file(path)
+        assert obs_main(["validate", str(path)]) == 0
+        assert "valid jsonl (3 records)" in capsys.readouterr().out
+
+    def test_malformed_line_exits_two_with_its_number(self, tmp_path, capsys):
+        path = tmp_path / "frames.jsonl"
+        self._frames_file(path)
+        with open(path, "a") as fh:
+            fh.write('{"schema":1,"window":3}\n')
+        assert obs_main(["validate", str(path)]) == 2
+        assert f"{path}:4:" in capsys.readouterr().err
+
+    def test_non_json_line_exits_two_with_its_number(self, tmp_path, capsys):
+        path = tmp_path / "frames.jsonl"
+        self._frames_file(path)
+        text = path.read_text().splitlines()
+        text[1] = "{not json"
+        path.write_text("\n".join(text) + "\n")
+        assert obs_main(["validate", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert f"{path}:2:" in err and "not JSON" in err
+
+    def test_report_renders_a_frames_timeline(self, tmp_path, capsys):
+        path = tmp_path / "frames.jsonl"
+        self._frames_file(path)
+        assert obs_main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "window frames: 3" in out
+        assert "z0" in out
